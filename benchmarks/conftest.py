@@ -1,0 +1,45 @@
+"""Benchmark-harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the reproduced rows (compare them against the published values
+collected in ``repro.experiments.base.PAPER_ANCHORS`` and the
+discussion in EXPERIMENTS.md).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Pass ``--paper-size`` to regenerate the kernel tables at the paper's
+full problem sizes (slower).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-size",
+        action="store_true",
+        default=False,
+        help="run kernel benchmarks at the paper's full problem sizes",
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_size(request) -> bool:
+    """Whether to use full problem sizes."""
+    return request.config.getoption("--paper-size")
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a rendered experiment table outside captured output."""
+
+    def _show(result):
+        with capsys.disabled():
+            print()
+            print(result.render())
+
+    return _show

@@ -1,0 +1,15 @@
+"""Benchmark for the CG data-structure study (section 3.3.1 narrative)."""
+
+from repro.experiments.cg_formats import run_format_comparison
+
+
+def test_bench_cg_format_comparison(benchmark, show, paper_size):
+    result = benchmark.pedantic(
+        lambda: run_format_comparison(full_size=paper_size),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    penalties = dict(zip(result.column("P"), result.column("CSC penalty")))
+    assert penalties[1] < 1.5        # sequential: formats comparable
+    assert penalties[32] > 8.0       # parallel: the transform is essential

@@ -1,0 +1,18 @@
+"""EP benchmark (section 3.3 text): linear speedup, ~11 MFLOPS/cell."""
+
+import pytest
+
+from repro.experiments.ep_scaling import run_ep_scaling
+
+
+def test_bench_ep_scaling(benchmark, show, paper_size):
+    n_pairs = (1 << 24) if paper_size else (1 << 18)
+    result = benchmark.pedantic(
+        lambda: run_ep_scaling(n_pairs=n_pairs), rounds=1, iterations=1
+    )
+    show(result)
+    speedups = dict(result.series["speedup"])
+    for p, s in speedups.items():
+        assert s == pytest.approx(p, rel=0.06)  # linear
+    mflops = result.column("MFLOPS/cell")
+    assert all(9.5 < m < 12.5 for m in mflops)  # paper: ~11 of 40 peak

@@ -1,0 +1,21 @@
+"""Figure 2 benchmark: memory-hierarchy read/write latencies."""
+
+from repro.experiments.latency import run_figure2
+
+
+def test_bench_fig2_latency(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run_figure2(proc_counts=[1, 2, 8, 16, 32], samples=500),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    # published anchors: ~0.9 us local read, ~8.75 us network read
+    local = dict(result.series["local read"])
+    network = dict(result.series["network read"])
+    assert 0.8e-6 < local[8] < 1.1e-6
+    assert 8.0e-6 < network[8] < 10.5e-6
+    # writes sit above reads
+    assert dict(result.series["network write"])[8] > network[8]
+    # latency grows modestly toward the full ring
+    assert network[32] > network[2]

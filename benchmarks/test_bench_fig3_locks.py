@@ -1,0 +1,22 @@
+"""Figure 3 benchmark: exclusive vs read-write lock curves."""
+
+from repro.experiments.locks import run_figure3
+
+
+def test_bench_fig3_locks(benchmark, show, paper_size):
+    ops = 500 if paper_size else 60
+    result = benchmark.pedantic(
+        lambda: run_figure3(proc_counts=[2, 8, 16, 32], ops=ops),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    excl = dict(result.series["exclusive lock"])
+    readers = dict(result.series["rw 100%"])
+    # exclusive-lock time grows steeply with P; readers-only stays low
+    assert excl[32] > 2.5 * excl[8]
+    assert readers[32] < 0.5 * excl[32]
+    # more read sharing, less time (at the full ring)
+    row32 = result.rows[-1]
+    rw_columns = row32[2:]
+    assert rw_columns == sorted(rw_columns, reverse=True)

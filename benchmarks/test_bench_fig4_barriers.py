@@ -1,0 +1,24 @@
+"""Figure 4 benchmark: the nine barrier algorithms on a 32-node KSR-1."""
+
+from repro.experiments.barriers import run_figure4
+
+
+def test_bench_fig4_barriers(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run_figure4(proc_counts=[2, 4, 8, 16, 32], reps=8),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    at32 = {name: dict(result.series[name])[32] for name in result.headers[1:]}
+    # the paper's orderings at the fully populated ring
+    assert at32["counter"] == max(at32.values())
+    assert at32["tournament(M)"] < at32["tournament"]
+    assert at32["tree(M)"] < at32["tree"]
+    assert at32["mcs(M)"] < at32["mcs"]
+    assert at32["dissemination"] < at32["counter"]
+    # system ~ tree(M)
+    assert 0.7 < at32["system"] / at32["tree(M)"] < 1.5
+    # the winner's curve is nearly flat
+    tm = dict(result.series["tournament(M)"])
+    assert tm[32] / tm[4] < 2.5

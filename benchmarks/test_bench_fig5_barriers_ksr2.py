@@ -1,0 +1,22 @@
+"""Figure 5 benchmark: barriers on the two-ring 64-node KSR-2."""
+
+from repro.experiments.barriers import run_figure5
+
+
+def test_bench_fig5_barriers_ksr2(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run_figure5(proc_counts=[16, 32, 48, 64], reps=6),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    # trends carry over from the one-ring KSR-1 (paper section 3.2.4)
+    at64 = {name: dict(result.series[name])[64] for name in result.headers[1:]}
+    assert at64["counter"] == max(at64.values())
+    assert at64["tournament(M)"] < at64["tournament"]
+    # the global-flag family stays in front
+    winners = sorted(at64, key=at64.get)[:4]
+    assert {"tournament(M)", "tree(M)", "mcs(M)"} & set(winners[:3])
+    # crossing the level-1 ring produces a jump for the tree-based ones
+    tm = dict(result.series["tree(M)"])
+    assert tm[48] > tm[32] * 1.1

@@ -1,0 +1,13 @@
+"""Benchmark for the section-4 future-features study."""
+
+from repro.experiments.future_features import run_future_features
+
+
+def test_bench_future_features(benchmark, show, paper_size):
+    result = benchmark.pedantic(
+        lambda: run_future_features(full_size=paper_size), rounds=1, iterations=1
+    )
+    show(result)
+    totals = {row[0]: row[3] for row in result.rows}
+    assert totals["sub-cache prefetch"] < totals["stock"]
+    assert totals["both"] == min(totals.values())

@@ -1,0 +1,19 @@
+"""Section 3.2.3 benchmark: comparative architecture orderings."""
+
+from repro.experiments.other_archs import run_other_archs
+
+
+def test_bench_other_archs(benchmark, show):
+    result = benchmark(run_other_archs, 32)
+    show(result)
+    rows = {row[0]: (row[1], row[2]) for row in result.rows}
+    # Symmetry: counter best overall, mcs(M) best among tree-style
+    sym = {a: c[0] for a, c in rows.items()}
+    assert min(sym, key=sym.get) == "counter"
+    tree_style = {a: sym[a] for a in ("tree(M)", "tournament(M)", "mcs(M)")}
+    assert min(tree_style, key=tree_style.get) == "mcs(M)"
+    # Butterfly: dissemination, then tournament, then MCS
+    but = {a: c[1] for a, c in rows.items() if not a.endswith("(M)")}
+    ranked = sorted(but, key=but.get)
+    assert ranked[0] == "dissemination"
+    assert ranked.index("tournament") < ranked.index("mcs")

@@ -1,0 +1,28 @@
+"""Benchmark for the beyond-the-paper projection studies."""
+
+from repro.experiments.projection import run_barrier_projection, run_cg_projection
+
+
+def test_bench_projection_barriers(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run_barrier_projection(proc_counts=[32, 64, 128], reps=5),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    ratios = result.column("ratio")
+    assert ratios[-1] > ratios[0]  # the hot spot keeps losing ground
+
+
+def test_bench_projection_cg(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run_cg_projection(proc_counts=[1, 32, 128, 512, 1088]),
+        rounds=1,
+        iterations=1,
+    )
+    show(result)
+    speedups = dict(result.series["speedup"])
+    # this problem size peaks somewhere past the measured machines and
+    # declines by the architecture's maximum
+    assert speedups[128] > speedups[32]
+    assert speedups[1088] < speedups[128]

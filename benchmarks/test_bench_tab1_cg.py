@@ -1,0 +1,31 @@
+"""Table 1 benchmark: CG scaling (plus the Figure 8 CG curve and the
+poststore study)."""
+
+from repro.experiments.base import PAPER_ANCHORS
+from repro.experiments.cg_scaling import run_cg_poststore, run_table1
+
+
+def test_bench_tab1_cg(benchmark, show, paper_size):
+    result = benchmark.pedantic(
+        lambda: run_table1(full_size=paper_size), rounds=1, iterations=1
+    )
+    show(result)
+    speedups = dict(result.series["CG speedup"])
+    assert speedups[32] > speedups[16] > speedups[8]
+    if paper_size:
+        published = PAPER_ANCHORS["cg_speedups"][32]
+        assert abs(speedups[32] - published) / published < 0.30
+    # efficiency declines from 16 to 32 (the serial-section effect)
+    assert speedups[32] / 32 < speedups[16] / 16
+
+
+def test_bench_cg_poststore(benchmark, show, paper_size):
+    result = benchmark.pedantic(
+        lambda: run_cg_poststore(full_size=paper_size), rounds=1, iterations=1
+    )
+    show(result)
+    gains = dict(result.series["poststore gain"])
+    if paper_size:
+        # paper: ~3% at 16, mitigated near saturation at 32
+        assert gains[16] > 2.0
+        assert gains[32] < gains[16]

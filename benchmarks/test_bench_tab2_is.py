@@ -1,0 +1,25 @@
+"""Table 2 benchmark: IS scaling (plus the Figure 8 IS curve)."""
+
+from repro.experiments.base import PAPER_ANCHORS
+from repro.experiments.is_scaling import run_table2
+
+
+def test_bench_tab2_is(benchmark, show, paper_size):
+    result = benchmark.pedantic(
+        lambda: run_table2(full_size=paper_size), rounds=1, iterations=1
+    )
+    show(result)
+    speedups = dict(result.series["IS speedup"])
+    # strong early scaling, flattening at the full ring
+    assert speedups[8] > 3.5
+    assert speedups[32] < 32 * 0.8
+    # the 30 -> 32 step gains (almost) nothing
+    assert speedups[32] < speedups[30] * 1.06
+    if paper_size:
+        published = PAPER_ANCHORS["is_speedups"][32]
+        assert abs(speedups[32] - published) / published < 0.35
+    # serial fraction column rises toward the full ring
+    fractions = [
+        row[4] for row in result.rows if isinstance(row[4], float) and row[0] >= 8
+    ]
+    assert fractions == sorted(fractions)

@@ -1,0 +1,27 @@
+"""Table 3 benchmark: SP time per iteration across processors."""
+
+from repro.experiments.base import PAPER_ANCHORS
+from repro.experiments.sp_scaling import run_sp_poststore, run_table3
+
+
+def test_bench_tab3_sp(benchmark, show, paper_size):
+    result = benchmark.pedantic(
+        lambda: run_table3(full_size=paper_size), rounds=1, iterations=1
+    )
+    show(result)
+    speedups = dict(result.series["SP speedup"])
+    assert speedups[31] > speedups[16] > speedups[8] > speedups[4]
+    if paper_size:
+        published = PAPER_ANCHORS["sp_speedups"][31]
+        assert abs(speedups[31] - published) / published < 0.20
+    else:
+        assert speedups[31] > 15
+
+
+def test_bench_sp_poststore(benchmark, show, paper_size):
+    result = benchmark.pedantic(
+        lambda: run_sp_poststore(full_size=paper_size), rounds=1, iterations=1
+    )
+    show(result)
+    best, with_ps = (row[1] for row in result.rows)
+    assert with_ps > best  # poststore hurts SP (paper, section 3.3.3)

@@ -1,0 +1,20 @@
+"""Table 4 benchmark: the SP optimization ladder at 30 processors."""
+
+from repro.experiments.sp_scaling import run_table4
+
+
+def test_bench_tab4_sp_optimizations(benchmark, show, paper_size):
+    result = benchmark.pedantic(
+        lambda: run_table4(full_size=paper_size), rounds=1, iterations=1
+    )
+    show(result)
+    base, padded, prefetched = (row[1] for row in result.rows)
+    assert base > padded > prefetched
+    pad_gain = 1 - padded / base
+    pf_gain = 1 - prefetched / padded
+    if paper_size:
+        # paper: 2.54 -> 2.14 (-15.7%) -> 1.89 (-11.7%)
+        assert 0.08 < pad_gain < 0.25
+        assert 0.06 < pf_gain < 0.25
+    else:
+        assert pad_gain > 0.03 and pf_gain > 0.03

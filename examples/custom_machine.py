@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""What-if study: re-ask the paper's questions on machines KSR never built.
+
+The simulator is fully parameterized, so the scalability questions of
+the paper can be re-asked under architectural changes.  Three studies:
+
+1. *A wider ring* — would the IS kernel have kept scaling at 32
+   processors with twice the slots?
+2. *Bigger sub-cache* — how much of CG's poor single-processor MFLOPS
+   comes from the 256 KB first level?
+3. *No read-snarfing combining* — how much do the global-flag barriers
+   owe to it?  (Approximated by disabling poststore in the barrier
+   implementation, which forces every wakeup through an invalidate +
+   group re-read.)
+
+Run:  python examples/custom_machine.py
+"""
+
+from dataclasses import replace
+
+from repro.experiments.barriers import measure_barrier
+from repro.kernels.is_sort import IsKernel
+from repro.kernels.costmodel import KernelCostModel, PhaseWork
+from repro.machine.config import MachineConfig
+from repro.memory.streams import sequential
+from repro.util.tables import Table
+
+
+def wider_ring_study() -> None:
+    print("1. IS at 32 processors: stock ring vs doubled slot count")
+    table = Table(["machine", "IS time (s)", "speedup vs 1 proc"])
+    for label, slots in (("stock (24 slots)", 12), ("wide (48 slots)", 24)):
+        config = MachineConfig.ksr1(32)
+        config = replace(config, ring=replace(config.ring, slots_per_subring=slots))
+        kernel = IsKernel(config)
+        t1 = kernel.run(1).time_s
+        t32 = kernel.run(32).time_s
+        table.add_row([label, t32, t1 / t32])
+    print(table.render())
+    print("   -> the wide ring buys IS a little at the full machine;")
+    print("      the serial phases, not the wire, are the real ceiling\n")
+
+
+def bigger_subcache_study() -> None:
+    print("2. a strided sweep under different sub-cache sizes")
+    table = Table(["sub-cache", "cycles per word access"])
+    stream = sequential(0, (2 << 20) // 8)  # a 2 MB sweep
+    for label, factor in (("256 KB (stock)", 1), ("1 MB", 4), ("4 MB", 16)):
+        config = MachineConfig.ksr1(1)
+        config = replace(
+            config,
+            subcache=replace(config.subcache, total_bytes=256 * 1024 * factor),
+        )
+        cost = KernelCostModel(config).phase_cost(
+            PhaseWork(name="sweep", stream=stream)
+        )
+        table.add_row([label, cost.total_cycles / stream.n_word_accesses])
+    print(table.render())
+    print("   -> streaming sweeps barely care (no reuse to keep); the")
+    print("      sub-cache size matters for gather-heavy kernels like CG\n")
+
+
+def snarfing_study() -> None:
+    print("3. tournament(M) with and without poststore-assisted wakeup")
+    table = Table(["variant", "us per episode (P=32)"])
+    for label, use_ps in (("poststore + snarf", True), ("invalidate + re-read", False)):
+        t = measure_barrier("tournament(M)", 32, reps=8, use_poststore=use_ps)
+        table.add_row([label, t * 1e6])
+    print(table.render())
+    print("   -> nearly a tie: read-snarfing already combines the 31")
+    print("      spinners' re-read into one transaction, so the explicit")
+    print("      poststore mostly duplicates work the coherence protocol")
+    print("      does anyway — indiscriminate poststore use can even lose")
+    print("      (the paper reaches the same conclusion for SP)")
+
+
+def main() -> None:
+    wider_ring_study()
+    bigger_subcache_study()
+    snarfing_study()
+
+
+if __name__ == "__main__":
+    main()

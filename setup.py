@@ -1,0 +1,11 @@
+"""Shim so legacy editable installs work in offline environments.
+
+The environment this repository targets has no ``wheel`` package and no
+network, which breaks PEP 660 editable installs; ``pip install -e .
+--no-use-pep517 --no-build-isolation`` falls back to ``setup.py
+develop`` through this file.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

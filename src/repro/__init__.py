@@ -1,0 +1,79 @@
+"""repro — reproduction of "Scalability Study of the KSR-1" (ICPP 1993).
+
+The Kendall Square Research KSR-1 was a cache-only memory architecture
+(COMA) multiprocessor built around a slotted, pipelined, unidirectional
+ring.  The machine is long extinct, so this package re-creates it as a
+deterministic discrete-event model and then re-runs the paper's entire
+experiment suite on that model:
+
+* low-level read/write latency measurements for the three levels of the
+  memory hierarchy (sub-cache / local-cache / ring),
+* lock and barrier synchronization algorithms (nine barrier variants,
+  hardware exclusive locks and software FCFS read-write ticket locks),
+* the NAS parallel benchmark kernels EP, CG and IS plus the SP
+  application, together with the scalability metrics (speedup,
+  efficiency, Karp-Flatt serial fraction) the paper reports.
+
+Quickstart
+----------
+>>> from repro import MachineConfig, KsrMachine
+>>> machine = KsrMachine(MachineConfig.ksr1(n_cells=8))
+>>> # see examples/quickstart.py for a complete runnable tour
+
+Package layout
+--------------
+``repro.sim``
+    Discrete-event simulation kernel (engine, coroutine processes).
+``repro.ring``
+    The slotted pipelined ring, the ARD inter-ring router, the two
+    level ring hierarchy and the analytical contention model.
+``repro.memory``
+    ALLCACHE memory system: address spaces, sub-cache, local-cache,
+    access streams, the vectorized reuse-distance cache model and the
+    hardware performance monitor.
+``repro.coherence``
+    Invalidation-based sequentially-consistent coherence protocol with
+    the KSR subpage states (invalid / shared / exclusive / atomic),
+    read-snarfing, ``get_subpage`` / ``release_subpage`` and the
+    ``prefetch`` / ``poststore`` instructions.
+``repro.machine``
+    Machine assembly: cells, threads, machine configurations and the
+    shared-memory programming API that workloads are written against.
+``repro.sync``
+    Lock and barrier algorithm library (the paper's section 3.2).
+``repro.kernels``
+    From-scratch NAS kernels: EP, CG, IS, SP (the paper's section 3.3).
+``repro.metrics``
+    Scalability metrics: speedup, efficiency, serial fraction.
+``repro.experiments``
+    One runner per paper table/figure; see DESIGN.md for the index.
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    ReproError,
+    SimulationError,
+    ConfigError,
+    MemoryModelError,
+    ProtocolError,
+    DeadlockError,
+    AllocationError,
+)
+from repro.machine.config import MachineConfig, RingConfig, CacheConfig, LatencyConfig
+from repro.machine.ksr import KsrMachine
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "SimulationError",
+    "ConfigError",
+    "MemoryModelError",
+    "ProtocolError",
+    "DeadlockError",
+    "AllocationError",
+    "MachineConfig",
+    "RingConfig",
+    "CacheConfig",
+    "LatencyConfig",
+    "KsrMachine",
+]

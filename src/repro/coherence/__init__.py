@@ -1,0 +1,41 @@
+"""Invalidation-based, sequentially consistent coherence protocol.
+
+The unit of coherence is the 128-byte subpage.  Copies live in local
+caches in one of four states (invalid place-holder / shared / exclusive
+/ atomic); there is no home memory (COMA).  The protocol implements:
+
+* read sharing with responder selection (same-ring copies preferred),
+* write invalidation (one ring circuit invalidates every sharer),
+* per-subpage serialization of ownership transfers — the effect that
+  makes hot-spot algorithms (the counter barrier) collapse,
+* read-snarfing: concurrent read misses on the same subpage are
+  combined into one ring transaction whose response revalidates every
+  place-holder it passes,
+* the special instructions ``get_subpage``/``release_subpage`` (atomic
+  subpage locking with non-FCFS, ring-order grant and hardware-style
+  retries that consume ring bandwidth), ``prefetch`` (non-blocking
+  fill) and ``poststore`` (producer-push update whose receivers end up
+  in shared state).
+"""
+
+from repro.coherence.states import SubpageState, legal_transition
+from repro.coherence.directory import Directory, DirectoryEntry
+from repro.coherence.snarf import ReadCombiner
+from repro.coherence.ops import OutstandingFills
+from repro.coherence.protocol import CoherenceProtocol, Watcher
+
+# NOTE: repro.coherence.litmus is intentionally NOT re-exported here:
+# it drives whole machines and therefore sits above this layer
+# (importing it here would be circular).  Use
+# ``from repro.coherence.litmus import run_sb`` etc. directly.
+
+__all__ = [
+    "SubpageState",
+    "legal_transition",
+    "Directory",
+    "DirectoryEntry",
+    "ReadCombiner",
+    "OutstandingFills",
+    "CoherenceProtocol",
+    "Watcher",
+]

@@ -1,0 +1,196 @@
+"""Sequential-consistency litmus tests for the coherence protocol.
+
+"The architecture provides a sequentially consistent shared memory
+model."  This module runs the classic litmus tests against the
+simulated protocol and checks that only SC-permitted outcomes occur:
+
+* **SB** (store buffering / Dekker): both threads store then load the
+  other's flag; SC forbids both loads returning 0.
+* **MP** (message passing): data write before flag write; an observer
+  that sees the flag must see the data.
+* **LB** (load buffering): loads followed by stores; SC forbids both
+  loads observing the other thread's (later) store.
+* **IRIW** (independent reads of independent writes): two observers
+  must agree on the order of two independent writes.
+
+Each test takes a list of per-thread *skews* (compute delays before the
+sequence starts) so callers — in particular the hypothesis fuzz tests —
+can explore many interleavings; on a correct protocol no skew can
+produce a forbidden outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigError
+from repro.machine.api import SharedMemory
+from repro.machine.config import MachineConfig, TimerConfig
+from repro.machine.ksr import KsrMachine
+from repro.sim.process import Compute, Read, Write
+
+__all__ = ["LitmusOutcome", "run_sb", "run_mp", "run_lb", "run_iriw", "ALL_LITMUS"]
+
+
+@dataclass(frozen=True)
+class LitmusOutcome:
+    """Result of one litmus execution."""
+
+    name: str
+    observed: tuple
+    forbidden: bool
+    description: str
+
+
+def _machine(n_cells: int, seed: int) -> tuple[KsrMachine, SharedMemory]:
+    config = MachineConfig.ksr1(
+        n_cells=n_cells, seed=seed, timer=TimerConfig(enabled=False)
+    )
+    machine = KsrMachine(config)
+    return machine, SharedMemory(machine)
+
+
+def _check_skews(skews: Sequence[float], n: int) -> list[float]:
+    if len(skews) != n:
+        raise ConfigError(f"need exactly {n} skews")
+    if any(s < 0 for s in skews):
+        raise ConfigError("skews must be non-negative")
+    return list(skews)
+
+
+def run_sb(skews: Sequence[float] = (0, 0), *, seed: int = 1) -> LitmusOutcome:
+    """Store buffering: forbidden outcome is r0 == r1 == 0."""
+    skews = _check_skews(skews, 2)
+    machine, mem = _machine(2, seed)
+    x, y = mem.alloc_word(), mem.alloc_word()
+
+    def t0():
+        yield Compute(skews[0])
+        yield Write(x, 1)
+        r = yield Read(y)
+        return r
+
+    def t1():
+        yield Compute(skews[1])
+        yield Write(y, 1)
+        r = yield Read(x)
+        return r
+
+    p0 = machine.spawn("sb0", t0(), 0)
+    p1 = machine.spawn("sb1", t1(), 1)
+    machine.run()
+    observed = (p0.result, p1.result)
+    return LitmusOutcome(
+        name="SB",
+        observed=observed,
+        forbidden=observed == (0, 0),
+        description="store buffering: (0, 0) is forbidden under SC",
+    )
+
+
+def run_mp(skews: Sequence[float] = (0, 0), *, seed: int = 1) -> LitmusOutcome:
+    """Message passing: if the flag is seen, the data must be seen."""
+    skews = _check_skews(skews, 2)
+    machine, mem = _machine(2, seed)
+    data, flag = mem.alloc_word(), mem.alloc_word()
+
+    def producer():
+        yield Compute(skews[0])
+        yield Write(data, 42)
+        yield Write(flag, 1)
+
+    def observer():
+        yield Compute(skews[1])
+        f = yield Read(flag)
+        d = yield Read(data)
+        return (f, d)
+
+    machine.spawn("mp-w", producer(), 0)
+    p = machine.spawn("mp-r", observer(), 1)
+    machine.run()
+    f, d = p.result
+    return LitmusOutcome(
+        name="MP",
+        observed=(f, d),
+        forbidden=(f == 1 and d != 42),
+        description="message passing: flag seen but data stale is forbidden",
+    )
+
+
+def run_lb(skews: Sequence[float] = (0, 0), *, seed: int = 1) -> LitmusOutcome:
+    """Load buffering: forbidden outcome is r0 == r1 == 1."""
+    skews = _check_skews(skews, 2)
+    machine, mem = _machine(2, seed)
+    x, y = mem.alloc_word(), mem.alloc_word()
+
+    def t0():
+        yield Compute(skews[0])
+        r = yield Read(x)
+        yield Write(y, 1)
+        return r
+
+    def t1():
+        yield Compute(skews[1])
+        r = yield Read(y)
+        yield Write(x, 1)
+        return r
+
+    p0 = machine.spawn("lb0", t0(), 0)
+    p1 = machine.spawn("lb1", t1(), 1)
+    machine.run()
+    observed = (p0.result, p1.result)
+    return LitmusOutcome(
+        name="LB",
+        observed=observed,
+        forbidden=observed == (1, 1),
+        description="load buffering: (1, 1) is forbidden under SC",
+    )
+
+
+def run_iriw(skews: Sequence[float] = (0, 0, 0, 0), *, seed: int = 1) -> LitmusOutcome:
+    """Independent reads of independent writes: the two observers must
+    not see the two writes in opposite orders."""
+    skews = _check_skews(skews, 4)
+    machine, mem = _machine(4, seed)
+    x, y = mem.alloc_word(), mem.alloc_word()
+
+    def writer(addr, skew):
+        def body():
+            yield Compute(skew)
+            yield Write(addr, 1)
+
+        return body()
+
+    def observer(first, second, skew):
+        def body():
+            yield Compute(skew)
+            a = yield Read(first)
+            b = yield Read(second)
+            return (a, b)
+
+        return body()
+
+    machine.spawn("iriw-wx", writer(x, skews[0]), 0)
+    machine.spawn("iriw-wy", writer(y, skews[1]), 1)
+    p2 = machine.spawn("iriw-rxy", observer(x, y, skews[2]), 2)
+    p3 = machine.spawn("iriw-ryx", observer(y, x, skews[3]), 3)
+    machine.run()
+    rxy, ryx = p2.result, p3.result
+    # forbidden: observer 2 sees x=1 then y=0 (x before y) while
+    # observer 3 sees y=1 then x=0 (y before x)
+    forbidden = rxy == (1, 0) and ryx == (1, 0)
+    return LitmusOutcome(
+        name="IRIW",
+        observed=(rxy, ryx),
+        forbidden=forbidden,
+        description="IRIW: observers disagreeing on write order is forbidden",
+    )
+
+
+ALL_LITMUS = {
+    "SB": run_sb,
+    "MP": run_mp,
+    "LB": run_lb,
+    "IRIW": run_iriw,
+}

@@ -1,0 +1,51 @@
+"""Support machinery for the KSR special instructions.
+
+``prefetch`` brings a subpage into the local cache without blocking the
+issuing thread; a demand read arriving before the fill completes must
+wait only for the remainder.  :class:`OutstandingFills` tracks those
+in-flight fills per cell.
+"""
+
+from __future__ import annotations
+
+__all__ = ["OutstandingFills"]
+
+
+class OutstandingFills:
+    """In-flight asynchronous subpage fills, per (cell, subpage)."""
+
+    def __init__(self) -> None:
+        self._fills: dict[tuple[int, int], float] = {}
+        self.n_issued = 0
+        self.n_demand_hits = 0
+
+    def issue(self, cell_id: int, subpage_id: int, completes_at: float) -> None:
+        """Record a fill that will land at ``completes_at``."""
+        key = (cell_id, subpage_id)
+        existing = self._fills.get(key)
+        if existing is None or completes_at < existing:
+            self._fills[key] = completes_at
+        self.n_issued += 1
+
+    def pending_completion(self, cell_id: int, subpage_id: int, now: float) -> float | None:
+        """If a fill is still in flight at ``now``, return its landing
+        time (a demand access waits for it); else ``None``."""
+        key = (cell_id, subpage_id)
+        completes = self._fills.get(key)
+        if completes is None:
+            return None
+        if completes <= now:
+            del self._fills[key]
+            return None
+        self.n_demand_hits += 1
+        return completes
+
+    def complete(self, cell_id: int, subpage_id: int) -> None:
+        """Drop the record (called when the fill lands)."""
+        self._fills.pop((cell_id, subpage_id), None)
+
+    def outstanding_for(self, cell_id: int) -> list[tuple[int, float]]:
+        """All in-flight fills of one cell (used by ``Fence``)."""
+        return [
+            (sp, t) for (cid, sp), t in self._fills.items() if cid == cell_id
+        ]

@@ -1,0 +1,76 @@
+"""Read-snarfing: combining concurrent read misses.
+
+"The architecture also supports read-snarfing which allows all invalid
+copies in the local-caches to become valid on a re-read for that
+location by any one node."
+
+Two consequences are modelled:
+
+1. When several cells miss on the same subpage at overlapping times,
+   only the first occupies a ring slot; the others ride the same
+   response packet (they observe the data as it circulates past them).
+2. When a response packet circulates, *every* cell holding an INVALID
+   place-holder for that subpage is revalidated for free — this is what
+   makes the global-wake-up-flag barrier variants (tree(M),
+   tournament(M), MCS(M)) so effective.
+
+:class:`ReadCombiner` implements (1): it tracks, per subpage, the read
+transaction currently in flight so late arrivals can join it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["InFlightRead", "ReadCombiner"]
+
+
+@dataclass(frozen=True)
+class InFlightRead:
+    """A read transaction currently circulating."""
+
+    subpage_id: int
+    injected_at: float
+    completed_at: float
+
+    def joinable_at(self, now: float) -> bool:
+        """Whether a read miss at ``now`` can ride this packet.
+
+        A miss can join while the packet has not yet completed its
+        circuit (the joiner's place-holder will be refreshed as the
+        response passes it).
+        """
+        return now <= self.completed_at
+
+
+class ReadCombiner:
+    """Tracks one in-flight shared-read per subpage."""
+
+    #: Extra cycles a joiner waits past the primary completion,
+    #: representing the packet reaching its station later in the
+    #: circuit.  Small compared to a circuit; calibrated to a few hops.
+    JOIN_SKEW_CYCLES = 8.0
+
+    def __init__(self) -> None:
+        self._inflight: dict[int, InFlightRead] = {}
+        self.n_joined = 0
+
+    def try_join(self, subpage_id: int, now: float) -> float | None:
+        """If a read of ``subpage_id`` is circulating at ``now``, return
+        the time the joiner observes the data; else ``None``."""
+        flight = self._inflight.get(subpage_id)
+        if flight is None or not flight.joinable_at(now):
+            return None
+        self.n_joined += 1
+        return flight.completed_at + self.JOIN_SKEW_CYCLES
+
+    def begin(self, subpage_id: int, injected_at: float, completed_at: float) -> None:
+        """Record a new primary read transaction."""
+        self._inflight[subpage_id] = InFlightRead(subpage_id, injected_at, completed_at)
+
+    def expire(self, subpage_id: int, now: float) -> None:
+        """Drop the record once the packet has completed (housekeeping;
+        :meth:`try_join` also checks the window itself)."""
+        flight = self._inflight.get(subpage_id)
+        if flight is not None and not flight.joinable_at(now):
+            del self._inflight[subpage_id]

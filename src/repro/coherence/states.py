@@ -1,0 +1,47 @@
+"""Subpage coherence states and their legal transitions.
+
+:class:`SubpageState` itself lives with the local cache (the state is
+physically a tag in the cache line); this module adds the protocol-side
+transition relation so invariant violations fail fast in tests.
+"""
+
+from __future__ import annotations
+
+from repro.memory.local_cache import SubpageState
+
+__all__ = ["SubpageState", "legal_transition", "LEGAL_TRANSITIONS"]
+
+#: (from, to) pairs a single cell's copy may legally undergo.
+LEGAL_TRANSITIONS: frozenset[tuple[SubpageState, SubpageState]] = frozenset(
+    {
+        # read miss fill / snarf
+        (SubpageState.INVALID, SubpageState.SHARED),
+        # write miss fill / upgrade on invalidated copy
+        (SubpageState.INVALID, SubpageState.EXCLUSIVE),
+        # upgrade for write
+        (SubpageState.SHARED, SubpageState.EXCLUSIVE),
+        # another cell read our dirty copy
+        (SubpageState.EXCLUSIVE, SubpageState.SHARED),
+        # another cell wrote: we keep a place-holder
+        (SubpageState.SHARED, SubpageState.INVALID),
+        (SubpageState.EXCLUSIVE, SubpageState.INVALID),
+        # get_subpage / release_subpage
+        (SubpageState.EXCLUSIVE, SubpageState.ATOMIC),
+        (SubpageState.ATOMIC, SubpageState.EXCLUSIVE),
+        # poststore demotes the issuer to shared
+        (SubpageState.ATOMIC, SubpageState.SHARED),
+    }
+)
+
+
+def legal_transition(old: SubpageState | None, new: SubpageState) -> bool:
+    """Whether one copy may go from ``old`` to ``new``.
+
+    ``old is None`` means the copy is being created (a fill), which may
+    produce any valid state.
+    """
+    if old is None:
+        return new is not SubpageState.INVALID or False
+    if old is new:
+        return True
+    return (old, new) in LEGAL_TRANSITIONS

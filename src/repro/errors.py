@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro package.
+
+Every exception raised intentionally by this package derives from
+:class:`ReproError` so callers can catch package errors with a single
+``except`` clause without swallowing genuine bugs (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """A machine or experiment configuration is inconsistent.
+
+    Examples: a ring with zero slots, a cache whose block size does not
+    divide its total size, a KSR-1 configuration with more than 32
+    cells on a single leaf ring.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was driven incorrectly.
+
+    Examples: scheduling an event in the past, running a finished
+    engine, a process yielding an object that is not an ``Op``.
+    """
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while threads were still blocked.
+
+    This is how the simulator reports a genuine synchronization bug in
+    a workload (e.g. a barrier entered by fewer threads than its
+    participant count, or a lock never released).  The message lists
+    the blocked threads and what they were waiting for.
+    """
+
+
+class MemoryModelError(ReproError):
+    """An address or access is outside what the memory system models.
+
+    Examples: misaligned subpage operation, accessing an address that
+    was never allocated through the shared-memory API, a stream whose
+    indices fall outside its array.
+    """
+
+
+class AllocationError(MemoryModelError):
+    """The shared-memory allocator ran out of its configured arena."""
+
+
+class ProtocolError(ReproError):
+    """The coherence protocol reached an inconsistent state.
+
+    Raised only on internal invariant violations (two exclusive owners,
+    releasing a subpage that is not atomic, snarfing a valid copy) —
+    if you see this, it is a bug in the simulator, not your workload.
+    """

@@ -1,0 +1,174 @@
+"""Figures 4 and 5: barrier performance on the KSR-1 and KSR-2.
+
+Each (algorithm, P) point runs a fresh machine with P bound threads
+executing ``reps`` back-to-back barrier episodes separated by a small
+local delay; the reported time is the mean episode duration (earliest
+entry to latest exit), discarding the first episode (cold caches).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.experiments.base import ExperimentResult
+from repro.machine.api import SharedMemory
+from repro.machine.config import MachineConfig, TimerConfig
+from repro.machine.ksr import KsrMachine
+from repro.sim.process import LocalOps
+from repro.sync.barriers import BARRIER_REGISTRY, make_barrier
+
+__all__ = ["measure_barrier", "run_figure4", "run_figure5", "DEFAULT_ALGORITHMS"]
+
+DEFAULT_ALGORITHMS = [
+    "system",
+    "counter",
+    "tree",
+    "tree(M)",
+    "dissemination",
+    "tournament",
+    "tournament(M)",
+    "mcs",
+    "mcs(M)",
+]
+
+#: Local operations between consecutive barrier episodes.
+_INTER_EPISODE_OPS = 50
+
+
+def measure_barrier(
+    name: str,
+    n_procs: int,
+    *,
+    machine_config: MachineConfig | None = None,
+    reps: int = 10,
+    seed: int = 404,
+    use_poststore: bool = True,
+) -> float:
+    """Mean seconds per barrier episode for one (algorithm, P) point."""
+    if n_procs < 2:
+        raise ConfigError("a barrier measurement needs at least 2 processors")
+    if machine_config is None:
+        machine_config = MachineConfig.ksr1(
+            n_cells=n_procs, seed=seed, timer=TimerConfig(enabled=False)
+        )
+    if machine_config.n_cells < n_procs:
+        raise ConfigError("machine too small for the requested P")
+    machine = KsrMachine(machine_config)
+    mem = SharedMemory(machine)
+    barrier = make_barrier(name, mem, n_procs, use_poststore=use_poststore)
+    marks: dict[int, list[float]] = {i: [] for i in range(n_procs)}
+
+    def body(pid: int):
+        for episode in range(reps):
+            yield LocalOps(_INTER_EPISODE_OPS)
+            yield from barrier.wait(pid, episode)
+            marks[pid].append(machine.engine.now)
+
+    for i in range(n_procs):
+        machine.spawn(f"bar-{i}", body(i), i)
+    machine.run()
+    episode_ends = [max(marks[i][e] for i in range(n_procs)) for e in range(reps)]
+    episode_starts = [
+        min(marks[i][e - 1] for i in range(n_procs)) for e in range(1, reps)
+    ]
+    durations = [
+        end - start for start, end in zip(episode_starts, episode_ends[1:])
+    ]
+    return machine.config.seconds(float(np.mean(durations)))
+
+
+def _run_sweep(
+    experiment_id: str,
+    title: str,
+    proc_counts: list[int],
+    config_for: "callable",
+    algorithms: list[str],
+    reps: int,
+    seed: int,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        headers=["P"] + algorithms,
+    )
+    for p in proc_counts:
+        row: list = [p]
+        for name in algorithms:
+            t = measure_barrier(
+                name, p, machine_config=config_for(p), reps=reps, seed=seed
+            )
+            row.append(t * 1e6)  # microseconds, like the figures' axis scale
+            result.add_series_point(name, p, t)
+        result.add_row(row)
+    return result
+
+
+def run_figure4(
+    proc_counts: list[int] | None = None,
+    *,
+    algorithms: list[str] | None = None,
+    reps: int = 10,
+    seed: int = 404,
+) -> ExperimentResult:
+    """Figure 4: the nine barriers on a 32-node KSR-1 (microseconds)."""
+    if proc_counts is None:
+        proc_counts = [2, 4, 8, 16, 24, 32]
+    if algorithms is None:
+        algorithms = DEFAULT_ALGORITHMS
+    result = _run_sweep(
+        "FIG4",
+        "Barrier performance on the 32-node KSR-1 (us per episode)",
+        proc_counts,
+        lambda p: MachineConfig.ksr1(n_cells=p, seed=seed, timer=TimerConfig(enabled=False)),
+        algorithms,
+        reps,
+        seed,
+    )
+    _order_notes(result)
+    return result
+
+
+def run_figure5(
+    proc_counts: list[int] | None = None,
+    *,
+    algorithms: list[str] | None = None,
+    reps: int = 10,
+    seed: int = 404,
+) -> ExperimentResult:
+    """Figure 5: the nine barriers on a 64-node, two-ring KSR-2."""
+    if proc_counts is None:
+        proc_counts = [16, 24, 32, 40, 48, 56, 64]
+    if algorithms is None:
+        algorithms = DEFAULT_ALGORITHMS
+    result = _run_sweep(
+        "FIG5",
+        "Barrier performance on the 64-node KSR-2 (us per episode)",
+        proc_counts,
+        lambda p: MachineConfig.ksr2(
+            n_cells=max(p, 33), seed=seed, timer=TimerConfig(enabled=False)
+        ),
+        algorithms,
+        reps,
+        seed,
+    )
+    _order_notes(result)
+    crossing = [p for p in result.column("P") if p > 32]
+    if crossing and 32 in result.column("P"):
+        result.notes.append(
+            "points beyond P=32 span two leaf rings: the level-1 ring "
+            "crossing produces the paper's 'sudden jump'"
+        )
+    return result
+
+
+def _order_notes(result: ExperimentResult) -> None:
+    """Summarize the orderings the paper highlights."""
+    last = result.rows[-1]
+    by_name = dict(zip(result.headers[1:], last[1:]))
+    ranked = sorted(by_name, key=by_name.get)
+    result.notes.append(
+        f"at P={last[0]}: fastest -> slowest: {', '.join(ranked)}"
+    )
+    if by_name.get("counter") == max(by_name.values()):
+        result.notes.append("counter (hot spot) is the slowest, as in the paper")

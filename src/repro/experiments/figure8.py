@@ -1,0 +1,52 @@
+"""Figure 8: the combined CG and IS speedup curves.
+
+The paper plots both kernels' speedups on one chart; `run_figure8`
+reruns both scaling studies and returns a single result whose series
+can be rendered together (``ksr-experiments fig8 --chart``).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.cg_scaling import make_cg
+from repro.experiments.is_scaling import make_is
+from repro.metrics.speedup import ScalingTable
+
+__all__ = ["run_figure8"]
+
+
+def run_figure8(
+    proc_counts: list[int] | None = None,
+    *,
+    full_size: bool = False,
+    seed: int = 314,
+) -> ExperimentResult:
+    """CG and IS speedup vs processors, on one artifact."""
+    if proc_counts is None:
+        proc_counts = [1, 2, 4, 8, 16, 32]
+    cg = make_cg(full_size=full_size, seed=seed)
+    is_kernel = make_is(full_size=full_size, seed=seed)
+    cg_table = ScalingTable.from_pairs(
+        [(p, cg.run(p).time_s) for p in proc_counts]
+    )
+    is_table = ScalingTable.from_pairs(
+        [(p, is_kernel.run(p).time_s) for p in proc_counts]
+    )
+    result = ExperimentResult(
+        experiment_id="FIG8",
+        title="CG and IS scalability"
+        + ("" if full_size else " (test scale; --full for the paper's sizes)"),
+        headers=["P", "CG speedup", "IS speedup"],
+    )
+    for cg_pt, is_pt in zip(cg_table.points(), is_table.points()):
+        result.add_row([cg_pt.processors, cg_pt.speedup, is_pt.speedup])
+        result.add_series_point("CG", cg_pt.processors, cg_pt.speedup)
+        result.add_series_point("IS", is_pt.processors, is_pt.speedup)
+    cg_last, is_last = result.rows[-1][1], result.rows[-1][2]
+    if cg_last > is_last:
+        result.notes.append(
+            "CG ends above IS at the full ring, as in the paper's "
+            "Figure 8 (IS flattens after 16 processors: phases 4/6 plus "
+            "ring saturation)"
+        )
+    return result

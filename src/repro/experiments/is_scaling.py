@@ -1,0 +1,64 @@
+"""Table 2 and the IS curve of Figure 8."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.kernels.is_sort import IsKernel
+from repro.machine.config import MachineConfig
+from repro.metrics.speedup import ScalingTable
+
+__all__ = ["run_table2", "make_is"]
+
+
+def make_is(*, full_size: bool = False, seed: int = 707) -> IsKernel:
+    """Build the IS kernel at test scale or the paper's 2^23 keys."""
+    config = MachineConfig.ksr1(n_cells=32, seed=seed)
+    if full_size:
+        return IsKernel.paper_size(config)
+    return IsKernel(config)
+
+
+def run_table2(
+    proc_counts: list[int] | None = None,
+    *,
+    full_size: bool = False,
+    seed: int = 707,
+) -> ExperimentResult:
+    """Reproduce Table 2 (IS scaling) and the Figure 8 IS curve."""
+    if proc_counts is None:
+        proc_counts = [1, 2, 4, 8, 16, 30, 32]
+    kernel = make_is(full_size=full_size, seed=seed)
+    # verify the numerics once per experiment
+    kernel.verify(kernel.rank_keys())
+    size_note = (
+        f"{kernel.n_keys} keys, {kernel.n_buckets} buckets"
+        + ("" if full_size else " (test scale; --full for the paper's size)")
+    )
+    result = ExperimentResult(
+        experiment_id="TAB2",
+        title=f"Integer Sort, {size_note}",
+        headers=["Processors", "Time (s)", "Speedup", "Efficiency", "Serial Fraction"],
+    )
+    table = ScalingTable()
+    runs = {}
+    for p in proc_counts:
+        run = kernel.run(p)
+        runs[p] = run
+        table.add(p, run.time_s)
+    for point in table.points():
+        result.add_row(point.row())
+        result.add_series_point("IS speedup", point.processors, point.speedup)
+    points = table.points()
+    fractions = [pt.serial_fraction for pt in points if pt.serial_fraction is not None]
+    if len(fractions) >= 2 and fractions[-1] > fractions[0]:
+        result.notes.append(
+            "serial fraction rises with P (phases 4 and 6 of the "
+            "algorithm), as in the paper"
+        )
+    saturated = [p for p, run in runs.items() if run.saturated_phases]
+    if saturated:
+        result.notes.append(
+            f"ring-saturated phases appear at P={min(saturated)} "
+            "(paper: saturation effects at the fully populated ring)"
+        )
+    return result

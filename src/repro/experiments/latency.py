@@ -1,0 +1,210 @@
+"""Figure 2: read/write latencies of the memory hierarchy (section 3.1).
+
+The measurement methodology follows the paper exactly:
+
+* **sub-cache** — repeated reads of one resident word.
+* **local cache** — two private arrays A and B, both too large for the
+  sub-cache; B is read repeatedly to (probabilistically, under random
+  replacement) fill the sub-cache, then timed accesses to A miss the
+  sub-cache but hit the local cache.
+* **network** — each processor first touches a private array (COMA
+  ownership by access), then every processor reads its *neighbour's*
+  array simultaneously, at subpage stride so each access is a genuine
+  ring transaction.  Distinct data everywhere — no false sharing.
+* **allocation overheads** — the same runs at 2 KB stride (every
+  access allocates a sub-cache block: the +50 % case) and 16 KB stride
+  (every access allocates a local-cache page: the +60 % case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ConfigError
+from repro.experiments.base import ExperimentResult
+from repro.machine.api import SharedArray, SharedMemory
+from repro.machine.config import (
+    BLOCK_BYTES,
+    MachineConfig,
+    PAGE_BYTES,
+    SUBBLOCK_BYTES,
+    SUBPAGE_BYTES,
+    TimerConfig,
+)
+from repro.machine.ksr import KsrMachine
+from repro.sim.process import Op, Read, Write
+
+__all__ = ["LatencyMeasurement", "measure_latencies", "run_figure2"]
+
+#: Private array size per processor: comfortably larger than the
+#: 256 KB sub-cache so it cannot be held there, small enough to keep
+#: event counts reasonable.
+_ARRAY_BYTES = 512 * 1024
+#: Timed accesses per processor per measurement.
+_SAMPLES = 1500
+#: Sweeps of B used to (probabilistically) fill the sub-cache.
+_FILL_SWEEPS = 2
+
+
+@dataclass(frozen=True)
+class LatencyMeasurement:
+    """Mean per-access latency for one (level, op, P) point, seconds."""
+
+    n_procs: int
+    level: str  # "local" | "network"
+    op: str  # "read" | "write"
+    stride_bytes: int
+    mean_latency_s: float
+
+    @property
+    def mean_latency_cycles_ksr1(self) -> float:
+        """Convenience view at the KSR-1 clock."""
+        return self.mean_latency_s * 20e6
+
+
+def _quiet(n_procs: int, seed: int) -> KsrMachine:
+    config = MachineConfig.ksr1(
+        n_cells=max(2, n_procs), seed=seed, timer=TimerConfig(enabled=False)
+    )
+    return KsrMachine(config)
+
+
+def _sweep(arr: SharedArray, stride_bytes: int, samples: int, *, write: bool) -> Iterator[Op]:
+    """Timed access loop at a byte stride, wrapping inside the array."""
+    n_words = len(arr)
+    stride_words = max(1, stride_bytes // 8)
+    idx = 0
+    for _ in range(samples):
+        if write:
+            yield Write(arr.addr(idx), 1)
+        else:
+            yield Read(arr.addr(idx))
+        idx = (idx + stride_words) % n_words
+
+
+def _first_touch(arr: SharedArray) -> Iterator[Op]:
+    """Touch every subpage once so the array is owned locally."""
+    for word in range(0, len(arr), SUBPAGE_BYTES // 8):
+        yield Write(arr.addr(word), 0)
+
+
+def measure_latencies(
+    n_procs: int,
+    level: str,
+    op: str,
+    *,
+    stride_bytes: int | None = None,
+    seed: int = 101,
+    samples: int = _SAMPLES,
+) -> LatencyMeasurement:
+    """One (level, op, P) measurement on a fresh machine.
+
+    The default stride is one sub-block for the local level (the
+    natural miss granularity of the sub-cache) and one subpage for the
+    network level (every timed access is a genuine ring transaction —
+    how the published 175-cycle number is defined).
+    """
+    if level not in ("local", "network"):
+        raise ConfigError(f"unknown level {level!r}")
+    if op not in ("read", "write"):
+        raise ConfigError(f"unknown op {op!r}")
+    if stride_bytes is None:
+        stride_bytes = SUBBLOCK_BYTES if level == "local" else SUBPAGE_BYTES
+    machine = _quiet(n_procs, seed)
+    mem = SharedMemory(machine)
+    # the timed sweep must never wrap, or revisits become cache hits
+    words = max(_ARRAY_BYTES, (samples + 1) * stride_bytes) // 8
+    arrays_a = [mem.page_array(f"A{i}", words) for i in range(n_procs)]
+    fill_words = _ARRAY_BYTES // 8
+    arrays_b = (
+        [mem.page_array(f"B{i}", fill_words) for i in range(n_procs)]
+        if level == "local"
+        else []
+    )
+    timings: dict[int, float] = {}
+
+    def body(pid: int) -> Iterator[Op]:
+        mine_a = arrays_a[pid]
+        yield from _first_touch(mine_a)
+        if level == "local":
+            mine_b = arrays_b[pid]
+            yield from _first_touch(mine_b)
+            # fill the sub-cache with B by reading it repeatedly
+            for _ in range(_FILL_SWEEPS):
+                yield from _sweep(
+                    mine_b,
+                    SUBBLOCK_BYTES,
+                    fill_words // (SUBBLOCK_BYTES // 8),
+                    write=False,
+                )
+            target = mine_a
+        else:
+            # the network case times accesses to the neighbour's array
+            target = arrays_a[(pid + 1) % n_procs]
+        start = machine.engine.now
+        yield from _sweep(target, stride_bytes, samples, write=(op == "write"))
+        timings[pid] = machine.engine.now - start
+
+    for i in range(n_procs):
+        machine.spawn(f"lat-{i}", body(i), i)
+    machine.run()
+    mean_cycles = sum(timings.values()) / (n_procs * samples)
+    return LatencyMeasurement(
+        n_procs=n_procs,
+        level=level,
+        op=op,
+        stride_bytes=stride_bytes,
+        mean_latency_s=machine.config.seconds(mean_cycles),
+    )
+
+
+def run_figure2(
+    proc_counts: list[int] | None = None, *, seed: int = 101, samples: int = _SAMPLES
+) -> ExperimentResult:
+    """Reproduce Figure 2 plus the allocation-overhead call-outs."""
+    if proc_counts is None:
+        proc_counts = [1, 2, 4, 8, 16, 24, 32]
+    result = ExperimentResult(
+        experiment_id="FIG2",
+        title="Read/Write latencies on the KSR (microseconds per access)",
+        headers=["P", "local read", "local write", "network read", "network write"],
+    )
+    for p in proc_counts:
+        row = [p]
+        for level in ("local", "network"):
+            for op in ("read", "write"):
+                if level == "network" and p < 2:
+                    row.append("-")  # a 1-processor "neighbour" is itself
+                    continue
+                m = measure_latencies(p, level, op, seed=seed, samples=samples)
+                row.append(m.mean_latency_s * 1e6)
+                result.add_series_point(f"{level} {op}", p, m.mean_latency_s)
+        result.add_row(row)
+    # allocation overhead call-outs at one processor
+    base_local = measure_latencies(1, "local", "read", seed=seed, samples=samples)
+    block_local = measure_latencies(
+        1, "local", "read", stride_bytes=BLOCK_BYTES, seed=seed, samples=samples
+    )
+    base_net = measure_latencies(2, "network", "read", seed=seed, samples=samples)
+    page_net = measure_latencies(
+        2, "network", "read", stride_bytes=PAGE_BYTES, seed=seed, samples=samples
+    )
+    block_rise = block_local.mean_latency_s / base_local.mean_latency_s - 1.0
+    page_rise = page_net.mean_latency_s / base_net.mean_latency_s - 1.0
+    result.notes.append(
+        f"2KB-block-allocating stride raises local access time by "
+        f"{block_rise * 100:.0f}% (paper: ~50%)"
+    )
+    result.notes.append(
+        f"16KB-page-allocating stride raises remote access time by "
+        f"{page_rise * 100:.0f}% (paper: ~60%)"
+    )
+    net = result.series.get("network read", [])
+    if len(net) >= 2:
+        rise = net[-1][1] / net[0][1] - 1.0
+        result.notes.append(
+            f"network read latency rises {rise * 100:.1f}% from P={net[0][0]:.0f} "
+            f"to P={net[-1][0]:.0f} (paper: ~8% at 32)"
+        )
+    return result

@@ -1,0 +1,106 @@
+"""Figure 3: exclusive vs read-write lock performance (section 3.2.1).
+
+Seven curves: the hardware exclusive lock, and the software FCFS
+read-write ticket lock at read-share fractions 0 % ("writers only"),
+20 %, 40 %, 60 %, 80 % and 100 % ("readers only"), each over a
+processor sweep, with the paper's synthetic workload (delay 10000 local
+operations, hold 3000, N operations per processor).
+
+Timer interrupts are ON for this experiment — the unsynchronized
+per-cell timer is part of the paper's explanation for the software
+lock's surprising win over the hardware lock even with writers only.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.machine.api import SharedMemory
+from repro.machine.config import MachineConfig
+from repro.machine.ksr import KsrMachine
+from repro.sync.locks import (
+    HardwareExclusiveLock,
+    LockWorkloadParams,
+    TicketReadWriteLock,
+    run_lock_workload,
+)
+
+__all__ = ["run_figure3", "measure_lock"]
+
+#: The paper's per-processor operation count.  The default here is
+#: smaller so the figure regenerates quickly; pass ``ops=500`` (with
+#: patience) for the full workload.
+_DEFAULT_OPS = 100
+
+
+def measure_lock(
+    kind: str,
+    n_procs: int,
+    read_fraction: float,
+    *,
+    ops: int = _DEFAULT_OPS,
+    seed: int = 303,
+) -> float:
+    """Total seconds for one (lock kind, P, read fraction) point."""
+    config = MachineConfig.ksr1(n_cells=max(2, n_procs), seed=seed)
+    machine = KsrMachine(config)
+    mem = SharedMemory(machine)
+    if kind == "hardware":
+        lock = HardwareExclusiveLock(mem)
+    elif kind == "rw":
+        lock = TicketReadWriteLock(mem)
+    else:
+        raise ValueError(f"unknown lock kind {kind!r}")
+    params = LockWorkloadParams(
+        ops_per_processor=ops, read_fraction=read_fraction, seed=seed
+    )
+    result = run_lock_workload(machine, lock, params, n_threads=n_procs)
+    return result.total_seconds
+
+
+def run_figure3(
+    proc_counts: list[int] | None = None,
+    *,
+    ops: int = _DEFAULT_OPS,
+    seed: int = 303,
+) -> ExperimentResult:
+    """Reproduce Figure 3's seven curves."""
+    if proc_counts is None:
+        proc_counts = [2, 4, 8, 16, 24, 32]
+    fractions = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+    result = ExperimentResult(
+        experiment_id="FIG3",
+        title=f"Lock performance, {ops} operations per processor (seconds)",
+        headers=["P", "exclusive"]
+        + [f"rw {int(f * 100)}% read" for f in fractions],
+    )
+    for p in proc_counts:
+        row: list = [p]
+        t_excl = measure_lock("hardware", p, 0.0, ops=ops, seed=seed)
+        row.append(t_excl)
+        result.add_series_point("exclusive lock", p, t_excl)
+        for f in fractions:
+            t = measure_lock("rw", p, f, ops=ops, seed=seed)
+            row.append(t)
+            result.add_series_point(f"rw {int(f * 100)}%", p, t)
+        result.add_row(row)
+    # headline observations
+    last = result.rows[-1]
+    p_last, excl, rw0, rw100 = last[0], last[1], last[2], last[-1]
+    result.notes.append(
+        f"at P={p_last}: readers-only rw lock is {excl / rw100:.1f}x faster "
+        f"than the hardware exclusive lock (read combining)"
+    )
+    gap = (rw0 - excl) / excl
+    if rw0 < excl:
+        result.notes.append(
+            "writers-only software lock beats the hardware lock — the "
+            "paper's surprising result (queue survives timer interrupts; "
+            "hardware retries burn ring bandwidth)"
+        )
+    else:
+        result.notes.append(
+            f"writers-only software lock within {gap * 100:.1f}% of the "
+            "hardware lock (the paper measured a small software win it "
+            "could not fully explain — see EXPERIMENTS.md)"
+        )
+    return result

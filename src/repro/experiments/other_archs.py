@@ -1,0 +1,181 @@
+"""Section 3.2.3: barriers on the Sequent Symmetry and BBN Butterfly.
+
+The paper contrasts its KSR-1 results with Mellor-Crummey & Scott's
+measurements on two machines whose *structural* properties differ:
+
+* **Sequent Symmetry** — bus-based, snooping coherent caches: every
+  communication step serializes on the bus, so total message count
+  (plus per-round software overhead) decides; broadcast is free-riding
+  (all snoopers observe one bus transaction).
+* **BBN Butterfly** — multistage network with parallel paths but *no*
+  coherent caches: waiting means polling across the network, there is
+  no broadcast, and the critical path (rounds x network latency, with
+  k-ary gathers costing k sequential polls) decides.
+
+These are closed-form structural models — counting serialized bus
+transactions and critical-path network steps per algorithm — not
+discrete-event simulations: the point of this section is orderings,
+which follow from the structure the paper describes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.experiments.base import ExperimentResult
+
+__all__ = [
+    "ArchitectureModel",
+    "SYMMETRY",
+    "BUTTERFLY",
+    "barrier_cost",
+    "run_other_archs",
+]
+
+
+@dataclass(frozen=True)
+class ArchitectureModel:
+    """Structural parameters of a comparison architecture."""
+
+    name: str
+    #: Communication steps in one round proceed concurrently?
+    parallel_paths: bool
+    #: Can one transaction update every waiter (snooping/snarfing)?
+    broadcast: bool
+    #: Cost of one remote communication (arbitrary time units).
+    message_cost: float
+    #: Software overhead per algorithm round.
+    round_overhead: float
+
+
+SYMMETRY = ArchitectureModel(
+    name="Sequent Symmetry",
+    parallel_paths=False,
+    broadcast=True,
+    message_cost=1.0,
+    round_overhead=0.4,
+)
+
+BUTTERFLY = ArchitectureModel(
+    name="BBN Butterfly",
+    parallel_paths=True,
+    broadcast=False,
+    message_cost=1.0,
+    round_overhead=0.4,
+)
+
+
+def _log2(n: int) -> int:
+    return max(1, math.ceil(math.log2(n)))
+
+
+def barrier_cost(algorithm: str, arch: ArchitectureModel, n_procs: int) -> float:
+    """Structural cost of one barrier episode (arbitrary units).
+
+    For a serializing architecture the cost is total messages x message
+    cost + rounds x overhead; for parallel paths it is the critical
+    path: per-round steps (k sequential polls for a k-ary gather) x
+    message cost + rounds x overhead.  The global-wakeup (M) variants
+    need ``arch.broadcast``; on the Butterfly they degrade to their
+    tree-wakeup forms (no coherent caches to snarf a flag), which is
+    why the paper never considers them there.
+    """
+    if n_procs < 2:
+        raise ConfigError("need at least 2 processors")
+    p = n_procs
+    logp = _log2(p)
+    log4p = max(1, math.ceil(math.log(p, 4)))
+    m, r = arch.message_cost, arch.round_overhead
+
+    def serialized(messages: float, rounds: float) -> float:
+        return messages * m + rounds * r
+
+    def critical_path(steps: float, rounds: float) -> float:
+        return steps * m + rounds * r
+
+    if algorithm == "counter":
+        # With snooping caches an arrival is ONE cheap atomic bus
+        # transaction and the completing decrement is snooped by every
+        # spinner for free — this is why the counter wins on the
+        # Symmetry.  Without caches the counter is a polled hot spot.
+        if arch.broadcast:
+            return serialized(p + 1.0, 0.0)
+        if arch.parallel_paths:
+            return critical_path(2.0 * p, 0.0)  # serialized hot spot
+        return serialized(3.0 * p, 0.0)
+    if algorithm == "dissemination":
+        if arch.parallel_paths:
+            return critical_path(logp, logp)
+        return serialized(p * logp, logp)
+    if algorithm in ("tournament", "tournament(M)"):
+        wake_bcast = algorithm.endswith("(M)") and arch.broadcast
+        arrival_steps = logp  # one message per round on the path
+        wake_steps = 1.0 if wake_bcast else logp
+        if arch.parallel_paths:
+            return critical_path(arrival_steps + wake_steps, logp + (0 if wake_bcast else logp))
+        messages = p + (1.0 if wake_bcast else p)
+        return serialized(messages, logp + (0 if wake_bcast else logp))
+    if algorithm in ("mcs", "mcs(M)"):
+        wake_bcast = algorithm.endswith("(M)") and arch.broadcast
+        arrival_steps = 4.0 * log4p  # 4 sequential child gathers per level
+        wake_steps = 1.0 if wake_bcast else logp
+        if arch.parallel_paths:
+            return critical_path(
+                arrival_steps + wake_steps, log4p + (0 if wake_bcast else logp)
+            )
+        messages = p + (1.0 if wake_bcast else p)
+        return serialized(messages, log4p + (0 if wake_bcast else logp))
+    if algorithm in ("tree", "tree(M)"):
+        wake_bcast = algorithm.endswith("(M)") and arch.broadcast
+        # dynamic combining tree: lock + increment per node on the path
+        arrival_steps = 2.0 * logp
+        wake_steps = 1.0 if wake_bcast else logp
+        if arch.parallel_paths:
+            return critical_path(
+                arrival_steps + wake_steps, logp + (0 if wake_bcast else logp)
+            )
+        messages = 2.0 * p + (1.0 if wake_bcast else p)
+        return serialized(messages, logp + (0 if wake_bcast else logp))
+    raise ConfigError(f"unknown algorithm {algorithm!r}")
+
+
+def run_other_archs(n_procs: int = 32) -> ExperimentResult:
+    """Reproduce the section's comparative orderings."""
+    algorithms = [
+        "counter",
+        "dissemination",
+        "tree",
+        "tree(M)",
+        "tournament",
+        "tournament(M)",
+        "mcs",
+        "mcs(M)",
+    ]
+    result = ExperimentResult(
+        experiment_id="S3.2.3",
+        title=f"Structural barrier costs on other architectures (P={n_procs})",
+        headers=["algorithm", "Symmetry (bus)", "Butterfly (no caches)"],
+    )
+    for alg in algorithms:
+        result.add_row(
+            [
+                alg,
+                barrier_cost(alg, SYMMETRY, n_procs),
+                barrier_cost(alg, BUTTERFLY, n_procs),
+            ]
+        )
+    sym = {a: barrier_cost(a, SYMMETRY, n_procs) for a in algorithms}
+    but = {a: barrier_cost(a, BUTTERFLY, n_procs) for a in algorithms}
+    result.notes.append(
+        f"Symmetry fastest: {min(sym, key=sym.get)} (paper: the counter)"
+    )
+    # the (M) variants need coherent caches; exclude on the Butterfly
+    but_plain = {a: v for a, v in but.items() if not a.endswith("(M)")}
+    ranked = sorted(but_plain, key=but_plain.get)
+    result.notes.append(
+        f"Butterfly order: {', '.join(ranked)} "
+        "(paper: dissemination, then tournament, then MCS)"
+    )
+    return result

@@ -1,0 +1,105 @@
+"""Tables 3 and 4: the SP application's scaling and optimization ladder."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.kernels.sp import SpApplication
+from repro.machine.config import MachineConfig
+
+__all__ = ["run_table3", "run_table4", "run_sp_poststore", "make_sp"]
+
+
+def make_sp(*, full_size: bool = False, seed: int = 808) -> SpApplication:
+    """Build SP at test scale (32^3) or the paper's 64^3."""
+    config = MachineConfig.ksr1(n_cells=32, seed=seed)
+    if full_size:
+        return SpApplication.paper_size(config)
+    return SpApplication(config)
+
+
+def run_table3(
+    proc_counts: list[int] | None = None,
+    *,
+    full_size: bool = False,
+    seed: int = 808,
+) -> ExperimentResult:
+    """Table 3: seconds per SP iteration across processors."""
+    if proc_counts is None:
+        proc_counts = [1, 2, 4, 8, 16, 31]
+    sp = make_sp(full_size=full_size, seed=seed)
+    result = ExperimentResult(
+        experiment_id="TAB3",
+        title=f"Scalar Pentadiagonal, grid {sp.grid}^3"
+        + ("" if full_size else " (test scale; --full for 64^3)"),
+        headers=["Processors", "Time per iteration (s)", "Speedup"],
+    )
+    runs = sp.scaling(proc_counts)
+    t1 = runs[0].time_per_iteration_s
+    for run in runs:
+        speedup = t1 / run.time_per_iteration_s
+        result.add_row([run.n_procs, run.time_per_iteration_s, speedup])
+        result.add_series_point("SP speedup", run.n_procs, speedup)
+    last = result.rows[-1]
+    result.notes.append(
+        f"speedup {last[2]:.1f} on {last[0]} processors (paper: 27.8 on 31)"
+    )
+    return result
+
+
+def run_table4(
+    n_procs: int = 30,
+    *,
+    full_size: bool = False,
+    seed: int = 808,
+) -> ExperimentResult:
+    """Table 4: the optimization ladder at 30 processors."""
+    sp = make_sp(full_size=full_size, seed=seed)
+    ladder = sp.optimization_ladder(n_procs)
+    labels = [
+        "Base version",
+        "Data padding and alignment",
+        "Prefetching appropriate data",
+    ]
+    result = ExperimentResult(
+        experiment_id="TAB4",
+        title=f"SP optimizations (using {n_procs} processors), grid {sp.grid}^3",
+        headers=["Optimizations", "Time per iteration (s)", "vs previous"],
+    )
+    prev = None
+    for label, run in zip(labels, ladder):
+        t = run.time_per_iteration_s
+        delta = "-" if prev is None else f"{(1 - t / prev) * 100:+.1f}%"
+        result.add_row([label, t, delta])
+        prev = t
+    base, padded, prefetched = (r.time_per_iteration_s for r in ladder)
+    result.notes.append(
+        f"padding saves {(1 - padded / base) * 100:.1f}% (paper: ~15.7%), "
+        f"prefetch another {(1 - prefetched / padded) * 100:.1f}% (paper: ~11.7%)"
+    )
+    return result
+
+
+def run_sp_poststore(
+    n_procs: int = 30,
+    *,
+    full_size: bool = False,
+    seed: int = 808,
+) -> ExperimentResult:
+    """The in-text poststore experiment: it *hurts* SP."""
+    sp = make_sp(full_size=full_size, seed=seed)
+    without = sp.run(n_procs)
+    with_ps = sp.run(n_procs, poststore=True)
+    result = ExperimentResult(
+        experiment_id="SP-PS",
+        title=f"SP with poststore (using {n_procs} processors)",
+        headers=["Variant", "Time per iteration (s)"],
+    )
+    result.add_row(["prefetch (best)", without.time_per_iteration_s])
+    result.add_row(["prefetch + poststore", with_ps.time_per_iteration_s])
+    if with_ps.time_per_iteration_s > without.time_per_iteration_s:
+        result.notes.append(
+            "poststore slows SP down: receivers get the planes in shared "
+            "state and pay a ring latency to re-invalidate them when "
+            "they write in the next phase (the paper's explanation)"
+        )
+    return result

@@ -1,0 +1,36 @@
+"""From-scratch NAS parallel benchmark kernels (section 3.3).
+
+Each kernel really computes (NumPy) so results are verifiable against
+NAS-style self-checks, while its memory behaviour on the simulated KSR
+is modelled at subpage granularity through
+:mod:`repro.kernels.costmodel`.  Problem sizes default to the paper's
+(CG: n=14000 / 2.03 M nonzeros; IS: 2^23 keys; SP: 64^3) with smaller
+"test-scale" presets for quick runs.
+"""
+
+from repro.kernels.nas_rng import NasRandom
+from repro.kernels.costmodel import KernelCostModel, PhaseWork, PhaseCost, BarrierCostModel
+from repro.kernels.sparse import SparseCSC, SparseCSR, random_sparse_spd
+from repro.kernels.ep import EpKernel, EpResult
+from repro.kernels.cg import CgKernel, CgResult
+from repro.kernels.is_sort import IsKernel, IsResult
+from repro.kernels.sp import SpApplication, SpResult
+
+__all__ = [
+    "NasRandom",
+    "KernelCostModel",
+    "PhaseWork",
+    "PhaseCost",
+    "BarrierCostModel",
+    "SparseCSC",
+    "SparseCSR",
+    "random_sparse_spd",
+    "EpKernel",
+    "EpResult",
+    "CgKernel",
+    "CgResult",
+    "IsKernel",
+    "IsResult",
+    "SpApplication",
+    "SpResult",
+]

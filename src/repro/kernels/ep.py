@@ -1,0 +1,154 @@
+"""The NAS Embarrassingly Parallel (EP) kernel.
+
+"EP ... evaluates integrals by means of pseudorandom trials and is used
+in many Monte-Carlo simulations."  Pairs of NAS-LCG uniforms are mapped
+to (-1,1)^2; for pairs inside the unit circle the Box-Muller-style
+transform produces Gaussian deviates that are tallied into ten annular
+bins by max(|X|,|Y|).
+
+The computation is real (NumPy); the performance model is a single
+parallel phase of pure floating point with a tiny final reduction —
+which is why the paper saw linear speedup and a sustained ~11 MFLOPS
+per cell (the number our cycles-per-flop calibration reproduces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.kernels.costmodel import BarrierCostModel, KernelCostModel, PhaseWork
+from repro.kernels.nas_rng import NasRandom
+from repro.machine.config import MachineConfig
+from repro.memory.streams import sequential
+
+__all__ = ["EpKernel", "EpResult"]
+
+#: Average floating-point operations per generated pair: generation
+#: (normalisation, scaling) + the squared radius test, plus the
+#: log/sqrt/divide transform (weighted by the pi/4 acceptance rate)
+#: with transcendentals costed at their multi-flop expansions — the
+#: NAS flop-counting convention.
+FLOPS_PER_PAIR = 22.0
+
+
+@dataclass(frozen=True)
+class EpResult:
+    """Computed results plus modelled timing for one processor count."""
+
+    n_pairs: int
+    n_procs: int
+    counts: np.ndarray  # 10 annulus bins
+    sum_x: float
+    sum_y: float
+    n_accepted: int
+    time_s: float
+    mflops_per_cell: float
+
+    def verify(self) -> None:
+        """NAS-style self-checks: tallies consistent, acceptance ratio
+        near pi/4, deviate sums near zero relative to the sample."""
+        if int(self.counts.sum()) != self.n_accepted:
+            raise AssertionError("annulus counts do not add up")
+        acceptance = self.n_accepted / self.n_pairs
+        if abs(acceptance - np.pi / 4) > 0.01:
+            raise AssertionError(f"acceptance ratio {acceptance:.4f} far from pi/4")
+        scale = max(1.0, np.sqrt(self.n_accepted))
+        if abs(self.sum_x) > 4 * scale or abs(self.sum_y) > 4 * scale:
+            raise AssertionError("Gaussian sums inconsistent with zero mean")
+
+
+class EpKernel:
+    """EP with the paper's block distribution of the pair index space."""
+
+    def __init__(self, config: MachineConfig, *, n_pairs: int = 1 << 20, seed_rng: NasRandom | None = None):
+        if n_pairs < 1:
+            raise ConfigError("need at least one pair")
+        self.config = config
+        self.n_pairs = n_pairs
+        self.rng = seed_rng if seed_rng is not None else NasRandom()
+        self.cost_model = KernelCostModel(config)
+        self.barrier_model = BarrierCostModel(config)
+
+    # ------------------------------------------------------------------
+    # Real computation
+    # ------------------------------------------------------------------
+
+    def compute_block(self, start: int, count: int) -> tuple[np.ndarray, float, float, int]:
+        """Tally one processor's block of pairs."""
+        u, v = self.rng.pairs(start, count)
+        x = 2.0 * u - 1.0
+        y = 2.0 * v - 1.0
+        t = x * x + y * y
+        accept = (t <= 1.0) & (t > 0.0)
+        xa, ya, ta = x[accept], y[accept], t[accept]
+        factor = np.sqrt(-2.0 * np.log(ta) / ta)
+        gx = xa * factor
+        gy = ya * factor
+        bins = np.maximum(np.abs(gx), np.abs(gy)).astype(np.int64)
+        counts = np.bincount(np.clip(bins, 0, 9), minlength=10)
+        return counts, float(gx.sum()), float(gy.sum()), int(accept.sum())
+
+    def run(self, n_procs: int) -> EpResult:
+        """Compute the full problem and model its time on ``n_procs``."""
+        if n_procs < 1 or n_procs > self.config.n_cells:
+            raise ConfigError("processor count out of range")
+        counts = np.zeros(10, dtype=np.int64)
+        sum_x = sum_y = 0.0
+        accepted = 0
+        block = -(-self.n_pairs // n_procs)
+        max_pairs = 0
+        for p in range(n_procs):
+            start = p * block
+            count = min(block, self.n_pairs - start)
+            if count <= 0:
+                break
+            c, sx, sy, na = self.compute_block(start, count)
+            counts += c
+            sum_x += sx
+            sum_y += sy
+            accepted += na
+            max_pairs = max(max_pairs, count)
+        time_s = self._model_time(n_procs, max_pairs)
+        mflops = self.n_pairs * FLOPS_PER_PAIR / time_s / 1e6 / n_procs
+        return EpResult(
+            n_pairs=self.n_pairs,
+            n_procs=n_procs,
+            counts=counts,
+            sum_x=sum_x,
+            sum_y=sum_y,
+            n_accepted=accepted,
+            time_s=time_s,
+            mflops_per_cell=mflops,
+        )
+
+    # ------------------------------------------------------------------
+    # Performance model
+    # ------------------------------------------------------------------
+
+    def _model_time(self, n_procs: int, pairs_per_proc: int) -> float:
+        """One parallel phase + one reduction + one barrier."""
+        # EP generates in small chunks; the resident working set is a
+        # few KB of tallies — model a small private stream.
+        tally_stream = sequential(0, 16, write_fraction=0.5)
+        main = PhaseWork(
+            name="ep-main",
+            n_active=n_procs,
+            flops=pairs_per_proc * FLOPS_PER_PAIR,
+            int_ops=pairs_per_proc * 4.0,  # LCG updates and bin index math
+            stream=tally_stream,
+        )
+        cost = self.cost_model.phase_cost(main)
+        # final reduction: every processor ships 12 words (one subpage)
+        reduction = PhaseWork(
+            name="ep-reduce", n_active=n_procs, remote_subpages=1.0 if n_procs > 1 else 0.0
+        )
+        red_cost = self.cost_model.phase_cost(reduction)
+        cycles = (
+            cost.total_cycles
+            + red_cost.total_cycles
+            + self.barrier_model.barrier_cycles(n_procs)
+        )
+        return self.config.seconds(cycles)

@@ -1,0 +1,347 @@
+"""The NAS Integer Sort (IS) kernel — the paper's seven-phase bucket sort.
+
+IS ranks N integer keys by bucket counting.  The paper's
+parallelization (Figure 9) replicates the bucket-count structure
+(``keyden_t``, ~2 MB) at every processor to avoid synchronization, at
+the cost of two new steps absent from the sequential algorithm: the
+all-to-all accumulation (phase 2) and the serial combination of
+partial prefix maxima (phase 4).  The atomic copy of the global prefix
+sums (phase 6) serializes in lock-pipelined chunks.
+
+Phase inventory (per ranking iteration):
+
+1. local count      — read own keys, bump private ``keyden_t``
+2. accumulate       — read every processor's ``keyden_t`` portion
+                      (heavy simultaneous remote traffic: the phase
+                      that saturates the 32-node ring)
+3. partial prefix   — local scan of own ``keyden`` portion
+4. serial combine   — P1 gathers the P partial maxima (serial, grows
+                      with P — one of the two algorithmic bottlenecks)
+5. rebase           — add ``tmp_sum[i-1]`` to own portion
+6. atomic copy      — copy global prefix sums into private
+                      ``keyden_t``; chunk-locked, pipelined
+7. rank             — re-read own keys, assign ranks through
+                      ``keyden_t``
+
+The numerics are real (NumPy bucket ranking, verified against argsort);
+the timing model prices each phase for every processor count.  Data
+sizes follow the paper: N = 2^23 keys, key and rank arrays 32 MB each,
+bucket structures ~2 MB — so a single processor overflows its 32 MB
+local cache, producing the cache-driven superunitary speedups up to 8
+processors that the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.kernels.costmodel import BarrierCostModel, KernelCostModel, PhaseWork
+from repro.machine.config import MachineConfig, SUBPAGE_BYTES
+from repro.memory.streams import AccessStream, concat, gather, sequential
+
+__all__ = ["IsKernel", "IsResult"]
+
+#: Paper data sizes: "Each of the data structures key ... and rank ...
+#: is of size 32 MBytes" for 2^23 keys (4-byte integers on the wire).
+_KEY_BYTES = 4
+#: The prefix-sums structure is "roughly 2 MBytes".
+_BUCKET_BYTES = 8
+
+#: Address-map bases for the cost-model streams.
+_KEY_BASE = 0x0000_0000
+_RANK_BASE = 0x4000_0000
+_KEYDEN_T_BASE = 0x8000_0000  # + pid << 24
+_KEYDEN_BASE = 0xC000_0000
+#: Gather streams are subsampled by this factor (costs scaled back).
+_GATHER_SAMPLE = 16
+#: Chunk size of the phase-6 lock pipeline.
+_COPY_CHUNK_BYTES = 64 * 1024
+#: Overlap of capacity/remote transfer latency achieved by prefetching
+#: the perfectly sequential key/bucket sweeps ("The prefetch
+#: instruction of KSR-1 is very helpful and we used it quite
+#: extensively in implementing CG, IS and SP").
+_STREAM_PREFETCH_OVERLAP = 0.85
+
+
+@dataclass(frozen=True)
+class IsResult:
+    """Timing for one processor count."""
+
+    n_procs: int
+    time_s: float
+    phase_seconds: dict[str, float]
+    serial_s: float
+    saturated_phases: list[str]
+
+
+class IsKernel:
+    """IS on the simulated KSR.
+
+    Defaults are test scale; ``IsKernel.paper_size`` gives the 2^23-key
+    problem of Table 2.
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        *,
+        n_keys: int = 1 << 17,
+        n_buckets: int = 1 << 13,
+        iterations: int = 10,
+        seed: int = 21,
+    ):
+        if n_keys < 2 or n_buckets < 2:
+            raise ConfigError("need at least two keys and two buckets")
+        self.config = config
+        self.n_keys = n_keys
+        self.n_buckets = n_buckets
+        self.iterations = iterations
+        rng = np.random.default_rng(seed)
+        # NAS IS keys: sum of four uniforms -> binomial-ish distribution
+        raw = rng.integers(0, n_buckets, size=(4, n_keys)).sum(axis=0) // 4
+        self.keys = raw.astype(np.int64)
+        self.cost_model = KernelCostModel(config)
+        self.barrier_model = BarrierCostModel(config)
+
+    @staticmethod
+    def paper_size(config: MachineConfig, *, iterations: int = 10) -> "IsKernel":
+        """The paper's problem: 2^23 keys, 2^18 buckets."""
+        return IsKernel(config, n_keys=1 << 23, n_buckets=1 << 18, iterations=iterations)
+
+    # ------------------------------------------------------------------
+    # Real numerics
+    # ------------------------------------------------------------------
+
+    def rank_keys(self) -> np.ndarray:
+        """Stable bucket-sort ranks (0-based) of the key array.
+
+        Implemented exactly as the seven-phase algorithm computes them:
+        rank(i) = prefix_sum(key[i]) + (occurrence index of i within
+        its bucket), vectorized.
+        """
+        # A stable sort by bucket assigns exactly
+        #   rank(i) = prefix_sum(key[i]) + occurrence-index-in-bucket,
+        # so ranks are the inverse of the stable ordering.
+        order = np.argsort(self.keys, kind="stable")
+        ranks = np.empty(self.n_keys, dtype=np.int64)
+        ranks[order] = np.arange(self.n_keys)
+        return ranks
+
+    def verify(self, ranks: np.ndarray) -> None:
+        """NAS-style check: ranks are a permutation that sorts keys."""
+        if not np.array_equal(np.sort(ranks), np.arange(self.n_keys)):
+            raise AssertionError("ranks are not a permutation")
+        sorted_keys = np.empty_like(self.keys)
+        sorted_keys[ranks] = self.keys
+        if np.any(np.diff(sorted_keys) < 0):
+            raise AssertionError("ranks do not sort the keys")
+
+    # ------------------------------------------------------------------
+    # Performance model
+    # ------------------------------------------------------------------
+
+    def _key_words(self, count: int) -> int:
+        """Stream words representing ``count`` 4-byte keys."""
+        return max(1, count * _KEY_BYTES // 8)
+
+    def _bucket_words(self, count: int) -> int:
+        return max(1, count * _BUCKET_BYTES // 8)
+
+    def _bucket_gather(self, pid: int, n_procs: int, base: int) -> AccessStream:
+        """Subsampled gather of this processor's keys into a bucket
+        structure (the real key values drive the pattern)."""
+        lo = pid * self.n_keys // n_procs
+        hi = (pid + 1) * self.n_keys // n_procs
+        sample = self.keys[lo:hi:_GATHER_SAMPLE]
+        return gather(base, sample, write_fraction=0.5)
+
+    def phase_works(self, n_procs: int) -> list[tuple[str, list[PhaseWork], bool]]:
+        """(name, per-processor works, is_serial) for each phase."""
+        P = n_procs
+        keys_per = self.n_keys // P
+        key_words = self._key_words(keys_per)
+        bucket_words = self._bucket_words(self.n_buckets)
+        portion_words = max(1, bucket_words // P)
+        bucket_subpages = bucket_words * 8 / SUBPAGE_BYTES
+        phases: list[tuple[str, list[PhaseWork], bool]] = []
+
+        def per_proc(name: str, builder) -> tuple[str, list[PhaseWork], bool]:
+            return name, [builder(p) for p in range(P)], False
+
+        # 1: local bucket count over own keys
+        phases.append(
+            per_proc(
+                "count",
+                lambda p: PhaseWork(
+                    name=f"is-count-p{p}",
+                    n_active=P,
+                    int_ops=3.0 * keys_per,
+                    stream=concat(
+                        [
+                            sequential(_KEY_BASE + p * key_words * 8, key_words),
+                            self._bucket_gather(p, P, _KEYDEN_T_BASE + (p << 24)),
+                        ]
+                    ),
+                    stream_scale=1.0,  # gather already subsampled; its
+                    # weight is small next to the key sweep
+                    prefetch_overlap=_STREAM_PREFETCH_OVERLAP,
+                ),
+            )
+        )
+        # 2: all-to-all accumulation of the replicated counts
+        remote_acc = bucket_subpages * (P - 1) / P if P > 1 else 0.0
+        phases.append(
+            per_proc(
+                "accumulate",
+                lambda p: PhaseWork(
+                    name=f"is-acc-p{p}",
+                    n_active=P,
+                    int_ops=2.0 * bucket_words,
+                    stream=concat(
+                        [
+                            sequential(
+                                _KEYDEN_BASE + p * portion_words * 8,
+                                portion_words,
+                                write_fraction=0.5,
+                            )
+                        ]
+                    ),
+                    remote_subpages=remote_acc,
+                    prefetch_overlap=_STREAM_PREFETCH_OVERLAP,
+                ),
+            )
+        )
+        # 3: partial prefix sums on the own portion
+        phases.append(
+            per_proc(
+                "prefix",
+                lambda p: PhaseWork(
+                    name=f"is-prefix-p{p}",
+                    n_active=P,
+                    int_ops=2.0 * portion_words,
+                    stream=sequential(
+                        _KEYDEN_BASE + p * portion_words * 8,
+                        portion_words,
+                        write_fraction=0.5,
+                    ),
+                ),
+            )
+        )
+        # 4: SERIAL combine of the P partial maxima on processor 1
+        phases.append(
+            (
+                "serial-combine",
+                [
+                    PhaseWork(
+                        name="is-combine",
+                        n_active=1,
+                        int_ops=4.0 * P,
+                        remote_subpages=float(max(0, P - 1)),
+                    )
+                ],
+                True,
+            )
+        )
+        # 5: rebase own portion by tmp_sum[i-1]
+        phases.append(
+            per_proc(
+                "rebase",
+                lambda p: PhaseWork(
+                    name=f"is-rebase-p{p}",
+                    n_active=P,
+                    int_ops=portion_words,
+                    stream=sequential(
+                        _KEYDEN_BASE + p * portion_words * 8,
+                        portion_words,
+                        write_fraction=0.5,
+                    ),
+                    remote_subpages=1.0 if P > 1 else 0.0,
+                ),
+            )
+        )
+        # 6: atomic pipelined copy of keyden into each keyden_t
+        copy_remote = bucket_subpages * (P - 1) / P if P > 1 else 0.0
+        chunk_cycles = self.config.remote_latency_cycles  # lock handoff
+        n_chunks = max(1, (bucket_words * 8) // _COPY_CHUNK_BYTES)
+        pipeline_fill = (P - 1) * chunk_cycles * n_chunks / max(1, P)
+        phases.append(
+            per_proc(
+                "atomic-copy",
+                lambda p: PhaseWork(
+                    name=f"is-copy-p{p}",
+                    n_active=P,
+                    int_ops=2.0 * bucket_words,
+                    extra_cycles=pipeline_fill,
+                    stream=concat(
+                        [
+                            sequential(_KEYDEN_BASE, bucket_words),
+                            sequential(
+                                _KEYDEN_T_BASE + (p << 24),
+                                bucket_words,
+                                write_fraction=1.0,
+                            ),
+                        ]
+                    ),
+                    remote_subpages=copy_remote,
+                    prefetch_overlap=_STREAM_PREFETCH_OVERLAP,
+                ),
+            )
+        )
+        # 7: rank assignment through the private keyden_t
+        rank_words = self._key_words(keys_per)
+        phases.append(
+            per_proc(
+                "rank",
+                lambda p: PhaseWork(
+                    name=f"is-rank-p{p}",
+                    n_active=P,
+                    int_ops=4.0 * keys_per,
+                    stream=concat(
+                        [
+                            sequential(_KEY_BASE + p * key_words * 8, key_words),
+                            self._bucket_gather(p, P, _KEYDEN_T_BASE + (p << 24)),
+                            sequential(
+                                _RANK_BASE + p * rank_words * 8,
+                                rank_words,
+                                write_fraction=1.0,
+                            ),
+                        ]
+                    ),
+                    prefetch_overlap=_STREAM_PREFETCH_OVERLAP,
+                ),
+            )
+        )
+        return phases
+
+    def run(self, n_procs: int) -> IsResult:
+        """Model the full ranking run at ``n_procs``."""
+        if n_procs < 1 or n_procs > self.config.n_cells:
+            raise ConfigError("processor count out of range")
+        phase_seconds: dict[str, float] = {}
+        saturated: list[str] = []
+        serial_cycles = 0.0
+        total_cycles = 0.0
+        for name, works, is_serial in self.phase_works(n_procs):
+            cost = self.cost_model.parallel_time(works)
+            cycles = cost.total_cycles + self.barrier_model.barrier_cycles(n_procs)
+            phase_seconds[name] = self.config.seconds(cycles * self.iterations)
+            total_cycles += cycles
+            if is_serial:
+                serial_cycles += cost.total_cycles
+            if cost.saturated:
+                saturated.append(name)
+        total = total_cycles * self.iterations
+        return IsResult(
+            n_procs=n_procs,
+            time_s=self.config.seconds(total),
+            phase_seconds=phase_seconds,
+            serial_s=self.config.seconds(serial_cycles * self.iterations),
+            saturated_phases=saturated,
+        )
+
+    def scaling(self, proc_counts: list[int]) -> list[IsResult]:
+        """Run the model across a processor sweep."""
+        return [self.run(p) for p in proc_counts]

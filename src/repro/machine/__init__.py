@@ -1,0 +1,31 @@
+"""Machine assembly: configurations, cells, threads and the user API.
+
+``MachineConfig`` is the single source of truth for every architectural
+parameter (clock, cache geometry, ring geometry, published latencies).
+``KsrMachine`` wires cells, the coherence protocol and the ring
+hierarchy into a runnable machine; ``Program``/``Thread`` provide the
+coroutine programming model, and ``SharedMemory`` the allocation API
+that synchronization algorithms and kernels are written against.
+"""
+
+from repro.machine.config import (
+    MachineConfig,
+    RingConfig,
+    CacheConfig,
+    LatencyConfig,
+    TimerConfig,
+)
+from repro.machine.ksr import KsrMachine
+from repro.machine.api import SharedMemory, SharedArray, run_threads
+
+__all__ = [
+    "MachineConfig",
+    "RingConfig",
+    "CacheConfig",
+    "LatencyConfig",
+    "TimerConfig",
+    "KsrMachine",
+    "SharedMemory",
+    "SharedArray",
+    "run_threads",
+]

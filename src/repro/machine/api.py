@@ -1,0 +1,148 @@
+"""Shared-memory programming API for simulated workloads.
+
+Synchronization algorithms and microbenchmarks are written against this
+surface: allocate words/arrays in the global SVA space (with subpage or
+page alignment so independent variables never false-share unless the
+algorithm *wants* them to, e.g. the MCS flag word), then spawn thread
+generators that ``yield`` ops touching those addresses.
+
+>>> from repro.machine import MachineConfig, KsrMachine, SharedMemory
+>>> from repro.sim import Read, Write
+>>> m = KsrMachine(MachineConfig.ksr1(n_cells=2))
+>>> mem = SharedMemory(m)
+>>> flag = mem.alloc_word()
+>>> def writer():
+...     yield Write(flag, 7)
+>>> def reader():
+...     v = yield Read(flag)
+...     return v
+>>> _ = m.spawn("w", writer(), 0)
+>>> m.run()
+>>> p = m.spawn("r", reader(), 1)
+>>> m.run()
+>>> p.result
+7
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Sequence
+
+from repro.errors import AllocationError, MemoryModelError
+from repro.machine.config import PAGE_BYTES, SUBPAGE_BYTES, WORD_BYTES
+from repro.machine.ksr import KsrMachine
+from repro.memory.address import align_up
+from repro.sim.process import Op, Process
+
+__all__ = ["SharedMemory", "SharedArray", "run_threads"]
+
+
+class SharedArray:
+    """A contiguous run of 64-bit words in SVA space."""
+
+    def __init__(self, name: str, base: int, n_words: int):
+        self.name = name
+        self.base = base
+        self.n_words = n_words
+
+    def addr(self, index: int) -> int:
+        """Byte address of word ``index`` (bounds-checked)."""
+        if not 0 <= index < self.n_words:
+            raise MemoryModelError(
+                f"index {index} out of range for array {self.name!r} "
+                f"of {self.n_words} words"
+            )
+        return self.base + index * WORD_BYTES
+
+    def __len__(self) -> int:
+        return self.n_words
+
+    @property
+    def nbytes(self) -> int:
+        """Footprint in bytes."""
+        return self.n_words * WORD_BYTES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SharedArray({self.name!r}, base=0x{self.base:x}, words={self.n_words})"
+
+
+class SharedMemory:
+    """Bump allocator over the machine's SVA space.
+
+    The arena is purely an address-range budget (data values live in
+    the protocol's word store); its default size is far beyond anything
+    the tier-1 experiments allocate, and exhausting it raises
+    :class:`~repro.errors.AllocationError` rather than wrapping around.
+    """
+
+    DEFAULT_BASE = 0x1000_0000
+    DEFAULT_ARENA_BYTES = 1 << 36  # 64 GiB of SVA
+
+    def __init__(self, machine: KsrMachine, base: int = DEFAULT_BASE, arena_bytes: int = DEFAULT_ARENA_BYTES):
+        self.machine = machine
+        self.base = base
+        self.limit = base + arena_bytes
+        self._next = base
+
+    def alloc(self, nbytes: int, *, align: int = SUBPAGE_BYTES) -> int:
+        """Reserve ``nbytes`` aligned to ``align``; returns the address."""
+        if nbytes <= 0:
+            raise MemoryModelError(f"allocation size must be positive, got {nbytes}")
+        addr = align_up(self._next, align)
+        if addr + nbytes > self.limit:
+            raise AllocationError(
+                f"SVA arena exhausted: need {nbytes} bytes at 0x{addr:x}, "
+                f"limit 0x{self.limit:x}"
+            )
+        self._next = addr + nbytes
+        return addr
+
+    def alloc_word(self, *, align: int = SUBPAGE_BYTES) -> int:
+        """One 64-bit word on its own subpage by default — the paper's
+        discipline of padding mutually exclusive variables onto
+        separate cache lines to avoid false sharing."""
+        return self.alloc(WORD_BYTES, align=align)
+
+    def alloc_words(self, n_words: int, *, align: int = SUBPAGE_BYTES) -> int:
+        """``n_words`` contiguous words; returns the base address."""
+        return self.alloc(n_words * WORD_BYTES, align=align)
+
+    def array(self, name: str, n_words: int, *, align: int = SUBPAGE_BYTES) -> SharedArray:
+        """Allocate and wrap a word array."""
+        return SharedArray(name, self.alloc_words(n_words, align=align), n_words)
+
+    def page_array(self, name: str, n_words: int) -> SharedArray:
+        """A word array aligned to a 16 KB page (used by the latency
+        experiments to control page-allocation behaviour)."""
+        return self.array(name, n_words, align=PAGE_BYTES)
+
+    # Convenience passthroughs -----------------------------------------
+
+    def peek(self, addr: int) -> Any:
+        """Read a word's value outside the simulation (no cost)."""
+        return self.machine.protocol.peek(addr)
+
+    def poke(self, addr: int, value: Any) -> None:
+        """Set a word's value outside the simulation (no cost, no
+        coherence traffic — initialization only)."""
+        self.machine.protocol.poke(addr, value)
+
+
+def run_threads(
+    machine: KsrMachine,
+    bodies: Sequence[Callable[[int], Generator[Op, Any, Any]]] | Sequence[Generator[Op, Any, Any]],
+    *,
+    name: str = "thread",
+) -> list[Process]:
+    """Spawn one thread per cell (thread *i* on cell *i*) and run.
+
+    ``bodies`` is either a sequence of generators, or a sequence of
+    callables taking the thread index and returning a generator.
+    Returns the finished processes.
+    """
+    processes = []
+    for i, body in enumerate(bodies):
+        gen = body(i) if callable(body) else body
+        processes.append(machine.spawn(f"{name}-{i}", gen, cell_id=i))
+    machine.run()
+    return processes

@@ -1,0 +1,147 @@
+"""Assembly of a complete simulated KSR machine.
+
+``KsrMachine`` wires the engine, the ring hierarchy, the coherence
+protocol and one :class:`~repro.machine.cell.Cell` per processor, and
+offers the workload-facing surface: spawn threads, run to completion,
+read the clock and the performance monitors.
+
+>>> from repro.machine import MachineConfig, KsrMachine
+>>> from repro.sim import Compute
+>>> m = KsrMachine(MachineConfig.ksr1(n_cells=2))
+>>> def body():
+...     yield Compute(100)
+>>> p = m.spawn("worker", body(), cell_id=0)
+>>> m.run()
+>>> p.elapsed
+100.0
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.coherence.protocol import CoherenceProtocol
+from repro.errors import DeadlockError, SimulationError
+from repro.machine.cell import Cell
+from repro.machine.config import MachineConfig
+from repro.memory.perfmon import PerfMonitor
+from repro.ring.hierarchy import RingHierarchy
+from repro.sim.engine import Engine
+from repro.sim.process import Op, Process
+from repro.sim.tracing import Trace
+from repro.util.rng import SeedStream
+
+__all__ = ["KsrMachine"]
+
+
+class KsrMachine:
+    """A runnable KSR-1/KSR-2 model.
+
+    Parameters
+    ----------
+    config:
+        Machine description (see :meth:`MachineConfig.ksr1` /
+        :meth:`MachineConfig.ksr2`).
+    trace:
+        Optional op-level :class:`~repro.sim.tracing.Trace` to attach
+        to every cell.
+    """
+
+    #: Safety valve: a run firing more events than this raises instead
+    #: of spinning forever on livelocked hardware retries.
+    DEFAULT_MAX_EVENTS = 200_000_000
+
+    def __init__(self, config: MachineConfig, trace: Optional[Trace] = None):
+        self.config = config
+        self.seeds = SeedStream(config.seed)
+        self.engine = Engine()
+        self.hierarchy = RingHierarchy(config, self.seeds)
+        self.protocol = CoherenceProtocol(config, self.engine, self.hierarchy)
+        self.trace = trace
+        self.cells = [
+            Cell(i, config, self.engine, self.protocol, self.seeds, trace)
+            for i in range(config.n_cells)
+        ]
+        for cell in self.cells:
+            self.protocol.register_cell(cell)
+        self.processes: list[Process] = []
+
+    # ------------------------------------------------------------------
+    # Workload surface
+    # ------------------------------------------------------------------
+
+    def spawn(
+        self,
+        name: str,
+        body: Generator[Op, Any, Any],
+        cell_id: int,
+    ) -> Process:
+        """Bind a thread generator to a cell and start it."""
+        if not 0 <= cell_id < self.config.n_cells:
+            raise SimulationError(
+                f"cell {cell_id} out of range on a {self.config.n_cells}-cell machine"
+            )
+        process = Process(name=name, body=body, cell_id=cell_id)
+        self.processes.append(process)
+        self.cells[cell_id].start(process)
+        return process
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run the machine; raises :class:`DeadlockError` if threads
+        remain blocked when the event queue drains."""
+        if max_events is None:
+            max_events = self.DEFAULT_MAX_EVENTS
+        self.engine.run(until=until, max_events=max_events)
+        if until is not None:
+            return
+        if self.engine.pending and self.engine.events_fired >= max_events:
+            raise SimulationError(
+                f"run exceeded {max_events} events; "
+                f"likely livelock: {self.protocol.blocked_description()}"
+            )
+        stuck = [p for p in self.processes if not p.finished]
+        if stuck:
+            details = "; ".join(
+                f"{p.name} on cell {p.cell_id} waiting on {p.waiting_on}" for p in stuck
+            )
+            protocol_view = "; ".join(self.protocol.blocked_description())
+            raise DeadlockError(
+                f"{len(stuck)} thread(s) never finished: {details}"
+                + (f" | protocol: {protocol_view}" if protocol_view else "")
+            )
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+
+    @property
+    def now_cycles(self) -> float:
+        """Current simulation time in CPU cycles."""
+        return self.engine.now
+
+    @property
+    def now_seconds(self) -> float:
+        """Current simulation time in seconds."""
+        return self.config.seconds(self.engine.now)
+
+    def elapsed_seconds(self, process: Process) -> float:
+        """A finished process's lifetime in seconds."""
+        return self.config.seconds(process.elapsed)
+
+    def total_perf(self) -> PerfMonitor:
+        """Performance-monitor counters summed over all cells."""
+        total = PerfMonitor()
+        for cell in self.cells:
+            total = total + cell.perfmon
+        return total
+
+    def reset_perf(self) -> None:
+        """Zero every cell's performance monitor."""
+        for cell in self.cells:
+            cell.perfmon.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KsrMachine({self.config.name}, {self.config.n_cells} cells, "
+            f"t={self.engine.now:.0f} cy)"
+        )

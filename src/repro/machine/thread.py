@@ -1,0 +1,69 @@
+"""Thread-level OS effects: the per-cell timer interrupt model.
+
+Threads of a parallel program on the KSR are bound to distinct cells,
+but "the timer interrupts on the different processors are not
+synchronized" — the paper's explanation (via Steve Frank) for why the
+software queue lock can beat the hardware lock even with writers only:
+requesters keep joining the software queue while the holder's processor
+services an interrupt, whereas hardware lock requesters burn ring
+bandwidth retrying.
+
+:class:`TimerModel` stretches an operation's duration by the interrupt
+service time of every tick that falls inside it (ticks occur at
+``phase + k * period``; the phase is per-cell random, which is exactly
+the unsynchronized behaviour described).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.machine.config import MachineConfig
+
+__all__ = ["TimerModel"]
+
+
+class TimerModel:
+    """Interrupt arithmetic for one cell."""
+
+    def __init__(self, config: MachineConfig, cell_id: int, rng: np.random.Generator):
+        self.enabled = config.timer.enabled
+        self.cell_id = cell_id
+        if self.enabled:
+            self.period_cycles = config.cycles(config.timer.period_s)
+            self.cost_cycles = config.cycles(config.timer.cost_s)
+            self.phase = float(rng.uniform(0.0, self.period_cycles))
+        else:
+            self.period_cycles = math.inf
+            self.cost_cycles = 0.0
+            self.phase = 0.0
+
+    def ticks_between(self, start: float, end: float) -> int:
+        """Number of timer ticks in the half-open interval ``(start, end]``."""
+        if not self.enabled or end <= start:
+            return 0
+        return int(
+            math.floor((end - self.phase) / self.period_cycles)
+            - math.floor((start - self.phase) / self.period_cycles)
+        )
+
+    def extend(self, start: float, duration: float) -> tuple[float, int]:
+        """Stretch ``duration`` starting at ``start`` by interrupt costs.
+
+        Returns ``(end_time, n_interrupts)``.  Interrupts landing in
+        the stretched tail are themselves serviced, so the computation
+        iterates to a fixed point (it terminates because the interrupt
+        cost is strictly less than the period).
+        """
+        end = start + duration
+        if not self.enabled or duration <= 0 or self.cost_cycles == 0:
+            return end, 0
+        counted = 0
+        while True:
+            total = self.ticks_between(start, end)
+            if total == counted:
+                return end, counted
+            end += (total - counted) * self.cost_cycles
+            counted = total

@@ -1,0 +1,60 @@
+"""ALLCACHE memory system.
+
+The KSR has no main memory: all storage is cache (COMA).  Each cell
+carries a 256 KB 2-way *sub-cache* (first level) and a 32 MB 16-way
+*local cache* (second level); a System Virtual Address lives wherever
+copies of its subpage currently sit.
+
+This package provides address arithmetic and segment translation
+(:mod:`~repro.memory.address`), the generic set-associative machinery
+with the KSR's allocate-by-block/page, fill-by-subblock/subpage policy
+(:mod:`~repro.memory.cache_sets`, :mod:`~repro.memory.subcache`,
+:mod:`~repro.memory.local_cache`), the hardware performance monitor
+(:mod:`~repro.memory.perfmon`), and — for the kernel-scale tier — the
+run-length-compressed access streams and the vectorized reuse-distance
+cache model (:mod:`~repro.memory.streams`,
+:mod:`~repro.memory.analytic_cache`).
+"""
+
+from repro.memory.address import (
+    subpage_of,
+    subblock_of,
+    block_of,
+    page_of,
+    word_of,
+    subpage_base,
+    align_up,
+    SegmentTranslationTable,
+    ContextAddressSpace,
+)
+from repro.memory.cache_sets import SetAssociativeCache, AccessResult
+from repro.memory.subcache import SubCache
+from repro.memory.local_cache import LocalCache, SubpageState
+from repro.memory.perfmon import PerfMonitor
+from repro.memory.streams import AccessStream, sequential, strided, gather, concat
+from repro.memory.analytic_cache import AnalyticCache, CacheModelResult
+
+__all__ = [
+    "subpage_of",
+    "subblock_of",
+    "block_of",
+    "page_of",
+    "word_of",
+    "subpage_base",
+    "align_up",
+    "SegmentTranslationTable",
+    "ContextAddressSpace",
+    "SetAssociativeCache",
+    "AccessResult",
+    "SubCache",
+    "LocalCache",
+    "SubpageState",
+    "PerfMonitor",
+    "AccessStream",
+    "sequential",
+    "strided",
+    "gather",
+    "concat",
+    "AnalyticCache",
+    "CacheModelResult",
+]

@@ -1,0 +1,160 @@
+"""Address arithmetic and segment translation.
+
+The KSR exposes one global *System Virtual Address* (SVA) space; each
+process sees a private *Context Address* (CA) space mapped onto SVA
+segments through Segment Translation Tables (STT).  The simulator's
+workloads allocate directly in SVA (the shared-memory API hands out SVA
+ranges), but the STT machinery is modelled because the paper describes
+it as part of the architecture; ``tests/memory/test_address.py``
+exercises it.
+
+Granularities (bytes): word 8, sub-block 64, subpage 128, block 2 K,
+page 16 K — see :mod:`repro.machine.config`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MemoryModelError
+from repro.machine.config import (
+    BLOCK_BYTES,
+    PAGE_BYTES,
+    SUBBLOCK_BYTES,
+    SUBPAGE_BYTES,
+    WORD_BYTES,
+)
+
+__all__ = [
+    "word_of",
+    "subblock_of",
+    "subpage_of",
+    "block_of",
+    "page_of",
+    "subpage_base",
+    "align_up",
+    "Segment",
+    "SegmentTranslationTable",
+    "ContextAddressSpace",
+]
+
+
+def word_of(addr: int) -> int:
+    """Index of the 64-bit word containing byte address ``addr``."""
+    return addr // WORD_BYTES
+
+
+def subblock_of(addr: int) -> int:
+    """Index of the 64-byte sub-block containing ``addr``."""
+    return addr // SUBBLOCK_BYTES
+
+
+def subpage_of(addr: int) -> int:
+    """Index of the 128-byte subpage containing ``addr`` — the unit of
+    coherence and ring transfer."""
+    return addr // SUBPAGE_BYTES
+
+
+def block_of(addr: int) -> int:
+    """Index of the 2 KB block containing ``addr`` — the unit of
+    allocation in the sub-cache."""
+    return addr // BLOCK_BYTES
+
+
+def page_of(addr: int) -> int:
+    """Index of the 16 KB page containing ``addr`` — the unit of
+    allocation in the local cache."""
+    return addr // PAGE_BYTES
+
+
+def subpage_base(subpage_id: int) -> int:
+    """Byte address of the start of subpage ``subpage_id``."""
+    return subpage_id * SUBPAGE_BYTES
+
+
+def align_up(addr: int, alignment: int) -> int:
+    """Smallest multiple of ``alignment`` that is >= ``addr``."""
+    if alignment <= 0:
+        raise MemoryModelError(f"alignment must be positive, got {alignment}")
+    return -(-addr // alignment) * alignment
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One STT entry: a CA range mapped to an SVA range."""
+
+    ca_base: int
+    size: int
+    sva_base: int
+    writable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise MemoryModelError("segment size must be positive")
+        if self.ca_base < 0 or self.sva_base < 0:
+            raise MemoryModelError("segment bases must be non-negative")
+
+    def contains(self, ca: int) -> bool:
+        """Whether context address ``ca`` falls inside this segment."""
+        return self.ca_base <= ca < self.ca_base + self.size
+
+    def translate(self, ca: int) -> int:
+        """Map a context address in this segment to its SVA."""
+        if not self.contains(ca):
+            raise MemoryModelError(f"CA 0x{ca:x} not in segment {self}")
+        return self.sva_base + (ca - self.ca_base)
+
+
+@dataclass
+class SegmentTranslationTable:
+    """Per-context list of segments, searched in insertion order.
+
+    Overlapping CA ranges are rejected at :meth:`map` time so lookup is
+    unambiguous.
+    """
+
+    segments: list[Segment] = field(default_factory=list)
+
+    def map(self, ca_base: int, size: int, sva_base: int, writable: bool = True) -> Segment:
+        """Install a mapping; rejects CA overlap with existing segments."""
+        new = Segment(ca_base, size, sva_base, writable)
+        for seg in self.segments:
+            if ca_base < seg.ca_base + seg.size and seg.ca_base < ca_base + size:
+                raise MemoryModelError(
+                    f"CA range [0x{ca_base:x}, +0x{size:x}) overlaps segment {seg}"
+                )
+        self.segments.append(new)
+        return new
+
+    def lookup(self, ca: int) -> Segment:
+        """The segment containing ``ca`` (raises if unmapped)."""
+        for seg in self.segments:
+            if seg.contains(ca):
+                return seg
+        raise MemoryModelError(f"CA 0x{ca:x} is unmapped in this context")
+
+    def translate(self, ca: int, *, for_write: bool = False) -> int:
+        """CA → SVA, enforcing segment write permission."""
+        seg = self.lookup(ca)
+        if for_write and not seg.writable:
+            raise MemoryModelError(f"write to read-only segment at CA 0x{ca:x}")
+        return seg.translate(ca)
+
+
+@dataclass
+class ContextAddressSpace:
+    """A process's view of memory: an STT plus a simple CA allocator."""
+
+    stt: SegmentTranslationTable = field(default_factory=SegmentTranslationTable)
+    _next_ca: int = 0
+
+    def attach(self, sva_base: int, size: int, *, writable: bool = True) -> int:
+        """Map an SVA range at the next free CA; returns the CA base."""
+        ca_base = align_up(self._next_ca, SUBPAGE_BYTES)
+        self.stt.map(ca_base, size, sva_base, writable)
+        self._next_ca = ca_base + size
+        return ca_base
+
+    def translate(self, ca: int, *, for_write: bool = False) -> int:
+        """CA → SVA through this context's STT."""
+        return self.stt.translate(ca, for_write=for_write)

@@ -1,0 +1,237 @@
+"""Vectorized cache model for kernel-scale access streams.
+
+This is a StatCache-style probabilistic model (Berg & Hagersten,
+"StatCache: a probabilistic approach to efficient and accurate data
+locality analysis") adapted to the KSR's two defining cache policies:
+
+* **random replacement** — the model's core assumption is the machine's
+  actual policy rather than an approximation of LRU;
+* **allocation-unit frames** — KSR caches reserve whole 2 KB blocks /
+  16 KB pages and only ever evict whole frames; individual lines are
+  never displaced.  Capacity behaviour is therefore entirely a
+  *frame-level* phenomenon, and sparse access patterns can thrash a
+  32 MB cache with only 2048 resident subpages — the inefficiency the
+  paper warns about for "algorithms that display less spatial
+  locality".
+
+Model
+-----
+Let ``F`` be the number of frames and ``S`` the number of sets.  A
+frame miss needs an eviction only if the victim set is full; with ``W``
+distinct frames in play the set occupancy is ~Poisson(``W/S``), giving
+an eviction probability ``p_evict`` (1 when ``W >= F``).  A resident
+frame then survives one frame miss with probability
+``1 - p_evict / F``, and the frame-level miss ratio solves the
+StatCache fixpoint
+
+    m_f = (cold_f + sum_i 1 - (1 - p_evict/F)^(m_f * Tf_i)) / N_f
+
+over the frame-touch stream's time distances ``Tf_i``.  A *line*
+access hits iff the line was touched before and its frame survived the
+interval, so the line-level miss probability reuses ``m_f`` scaled by
+the stream's frame-touch rate.
+
+Accuracy is validated against the exact event-level caches of
+:mod:`repro.memory.cache_sets` in ``tests/memory/test_analytic_cache.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MemoryModelError
+from repro.machine.config import CacheConfig, SUBPAGE_BYTES
+from repro.memory.streams import AccessStream
+
+__all__ = [
+    "CacheModelResult",
+    "AnalyticCache",
+    "time_distances",
+    "fixpoint_miss_ratio",
+    "set_full_probability",
+]
+
+
+def time_distances(ids: np.ndarray) -> tuple[np.ndarray, int]:
+    """Per-access distance (in accesses) to the previous touch of the
+    same id; cold (first) touches get distance -1.
+
+    Returns ``(distances, n_cold)``.  Vectorized: group positions by id
+    via a stable argsort, difference within groups.
+    """
+    ids = np.ascontiguousarray(ids)
+    n = ids.size
+    if n == 0:
+        return np.empty(0, dtype=np.int64), 0
+    order = np.argsort(ids, kind="stable")  # groups ids, positions ascending
+    sorted_ids = ids[order]
+    sorted_pos = order.astype(np.int64)
+    prev = np.empty(n, dtype=np.int64)
+    prev[1:] = np.where(sorted_ids[1:] == sorted_ids[:-1], sorted_pos[:-1], -1)
+    prev[0] = -1
+    dist_sorted = np.where(prev >= 0, sorted_pos - prev, -1)
+    distances = np.empty(n, dtype=np.int64)
+    distances[order] = dist_sorted
+    n_cold = int(np.count_nonzero(distances < 0))
+    return distances, n_cold
+
+
+def set_full_probability(n_distinct: int, n_sets: int, ways: int, n_frames: int) -> float:
+    """Probability that a frame allocation finds its set full.
+
+    Distinct frames spread ~uniformly over sets; occupancy of one set
+    is approximated as Poisson(``n_distinct / n_sets``) truncated by
+    associativity.  Once the working set reaches the frame capacity the
+    probability saturates at 1.
+    """
+    if n_distinct <= 0:
+        return 0.0
+    if n_distinct >= n_frames:
+        return 1.0
+    lam = n_distinct / n_sets
+    # P(X >= ways) for X ~ Poisson(lam)
+    term = math.exp(-lam)
+    cdf = term
+    for k in range(1, ways):
+        term *= lam / k
+        cdf += term
+    return max(0.0, min(1.0, 1.0 - cdf))
+
+
+def fixpoint_miss_ratio(
+    distances: np.ndarray,
+    n_cold: int,
+    n_lines: int,
+    *,
+    evict_prob: float = 1.0,
+    tol: float = 1e-6,
+    max_iter: int = 200,
+) -> tuple[float, np.ndarray]:
+    """Solve the StatCache fixpoint for a random-replacement store of
+    ``n_lines`` entries where each miss evicts a random resident entry
+    with probability ``evict_prob``.
+
+    Returns ``(miss_ratio, p_miss_per_access)``; cold touches have
+    probability 1.
+    """
+    n = distances.size
+    if n == 0:
+        return 0.0, np.empty(0)
+    if n_lines <= 0:
+        raise MemoryModelError("cache must have at least one line")
+    warm = distances >= 0
+    t_warm = distances[warm].astype(np.float64)
+    if evict_prob <= 0.0:
+        p_miss = np.ones(n)
+        p_miss[warm] = 0.0
+        return n_cold / n, p_miss
+    log_survive = math.log1p(-evict_prob / n_lines)
+    m = n_cold / n  # start from compulsory misses only
+    for _ in range(max_iter):
+        p_miss_warm = -np.expm1(m * t_warm * log_survive)
+        new_m = (n_cold + float(p_miss_warm.sum())) / n
+        if abs(new_m - m) < tol:
+            m = new_m
+            break
+        m = new_m
+    p_miss = np.ones(n)
+    p_miss[warm] = -np.expm1(m * t_warm * log_survive)
+    return m, p_miss
+
+
+@dataclass(frozen=True)
+class CacheModelResult:
+    """Expected behaviour of one stream against one cache level."""
+
+    n_touches: int
+    n_word_accesses: int
+    expected_line_misses: float
+    cold_line_misses: int
+    expected_frame_allocs: float
+    miss_ratio: float
+
+    @property
+    def expected_line_hits(self) -> float:
+        """Touches that found their line present."""
+        return self.n_touches - self.expected_line_misses
+
+    @property
+    def expected_word_hits(self) -> float:
+        """Word accesses not requiring a fill (intra-touch repeats are
+        guaranteed hits)."""
+        return self.n_word_accesses - self.expected_line_misses
+
+
+class AnalyticCache:
+    """The model bound to one cache geometry.
+
+    Streams are subpage-granular; for the sub-cache (64 B sub-blocks,
+    half a subpage) a reported line miss corresponds to two sub-block
+    fills — the cost model in :mod:`repro.kernels.costmodel` applies
+    that factor, this class reports subpage-granular misses.
+    """
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.alloc_subpages = max(1, config.alloc_bytes // SUBPAGE_BYTES)
+        self.n_frames = config.n_frames
+        self.n_sets = config.n_sets
+        self.ways = config.ways
+
+    def simulate(self, stream: AccessStream, *, iterations: int = 1) -> CacheModelResult:
+        """Expected misses of ``stream`` (optionally iterated to reach a
+        warm steady state; results describe the *last* iteration)."""
+        if iterations < 1:
+            raise MemoryModelError("iterations must be >= 1")
+        full = stream.repeated(iterations) if iterations > 1 else stream
+        ids = full.subpages
+        n = ids.size
+        if n == 0:
+            return CacheModelResult(0, 0, 0.0, 0, 0.0, 0.0)
+        # --- frame level: the only level at which capacity acts -------
+        frame_ids = full.mapped(self.alloc_subpages)
+        n_distinct_frames = int(np.unique(frame_ids).size)
+        p_evict = set_full_probability(
+            n_distinct_frames, self.n_sets, self.ways, self.n_frames
+        )
+        f_dist, f_cold = time_distances(frame_ids)
+        m_f, p_frame_miss = fixpoint_miss_ratio(
+            f_dist, f_cold, self.n_frames, evict_prob=p_evict
+        )
+        # --- line level: hit iff seen before and frame survived -------
+        distances, n_cold = time_distances(ids)
+        warm = distances >= 0
+        frame_rate = frame_ids.size / n
+        log_survive = math.log1p(-p_evict / self.n_frames) if p_evict > 0 else 0.0
+        p_miss = np.ones(n)
+        if log_survive != 0.0:
+            exponent = m_f * frame_rate * distances[warm].astype(np.float64)
+            p_miss[warm] = -np.expm1(exponent * log_survive)
+        else:
+            p_miss[warm] = 0.0
+        if iterations > 1:
+            per_iter = stream.n_touches
+            tail = slice((iterations - 1) * per_iter, None)
+            misses = float(p_miss[tail].sum())
+            cold = int(np.count_nonzero(distances[tail] < 0))
+            touches = per_iter
+            words = stream.n_word_accesses
+            frame_allocs = (f_cold + float(p_frame_miss[f_dist >= 0].sum())) / iterations
+        else:
+            misses = float(p_miss.sum())
+            cold = n_cold
+            touches = n
+            words = full.n_word_accesses
+            frame_allocs = f_cold + float(p_frame_miss[f_dist >= 0].sum())
+        miss_ratio = misses / touches if touches else 0.0
+        return CacheModelResult(
+            n_touches=touches,
+            n_word_accesses=words,
+            expected_line_misses=misses,
+            cold_line_misses=cold,
+            expected_frame_allocs=frame_allocs,
+            miss_ratio=miss_ratio,
+        )

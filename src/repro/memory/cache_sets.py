@@ -1,0 +1,214 @@
+"""Generic set-associative cache with the KSR allocation policy.
+
+The KSR caches are unusual in that *allocation* and *transfer* happen
+at different granularities: the sub-cache reserves a whole 2 KB block
+frame on first touch but fills it one 64 B sub-block at a time on
+demand; the local cache reserves a 16 KB page frame and fills 128 B
+subpages on demand.  Replacement is random (the paper blames this
+policy for sub-cache thrashing in SP).
+
+This module models exactly that: frames are tagged by allocation unit,
+each frame tracks which of its lines are present, and an access report
+says whether the line hit, whether the frame had to be allocated, and
+what was evicted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import MemoryModelError
+from repro.machine.config import CacheConfig
+
+__all__ = ["AccessResult", "Frame", "SetAssociativeCache"]
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one line access.
+
+    ``line_hit``
+        The line was present (no fill needed).
+    ``frame_allocated``
+        A new frame had to be reserved for the line's allocation unit
+        (the expensive case the paper measures: +50 % / +60 % access
+        time for block/page-allocating strides).
+    ``evicted_alloc_id``
+        Allocation unit that was displaced to make room, or ``None``.
+    ``evicted_lines``
+        Line ids that were present in the displaced frame (the
+        coherence layer must drop their state).
+    """
+
+    line_hit: bool
+    frame_allocated: bool
+    evicted_alloc_id: Optional[int] = None
+    evicted_lines: tuple[int, ...] = ()
+
+    @property
+    def line_missed(self) -> bool:
+        """Convenience inverse of ``line_hit``."""
+        return not self.line_hit
+
+
+@dataclass
+class Frame:
+    """One allocated frame: an allocation unit plus its present lines."""
+
+    alloc_id: int
+    lines: set[int] = field(default_factory=set)
+
+
+class SetAssociativeCache:
+    """Set-associative cache of allocation frames.
+
+    Parameters
+    ----------
+    config:
+        Geometry (:class:`repro.machine.config.CacheConfig`).
+    rng:
+        Source of randomness for victim selection.  Determinism of a
+        simulation run follows from seeding (see
+        :class:`repro.util.rng.SeedStream`).
+    policy:
+        ``"random"`` — the KSR's actual policy, the default — or
+        ``"lru"``, provided for ablation studies (the paper blames
+        random replacement for SP's sub-cache thrashing; the
+        replacement-policy benchmark quantifies that diagnosis).
+
+    Notes
+    -----
+    Line ids must belong to the allocation unit they map to:
+    ``alloc_id = line_id // lines_per_alloc``; sets are indexed by
+    ``alloc_id % n_sets`` — matching a physically indexed cache with
+    allocation-unit-sized frames.
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        rng: np.random.Generator,
+        *,
+        policy: str = "random",
+    ):
+        if policy not in ("random", "lru"):
+            raise MemoryModelError(f"unknown replacement policy {policy!r}")
+        self.config = config
+        self.rng = rng
+        self.policy = policy
+        self.lines_per_alloc = config.lines_per_alloc
+        self.n_sets = config.n_sets
+        self.ways = config.ways
+        # sets[i] maps alloc_id -> Frame; kept small (<= ways entries).
+        # Python dicts preserve insertion order, which doubles as the
+        # LRU order: on a frame touch we re-insert the key at the end,
+        # so the first key is always the least recently used.
+        self._sets: list[dict[int, Frame]] = [dict() for _ in range(self.n_sets)]
+        self.n_accesses = 0
+        self.n_line_hits = 0
+        self.n_frame_allocs = 0
+        self.n_evictions = 0
+
+    # ------------------------------------------------------------------
+
+    def _set_of(self, alloc_id: int) -> dict[int, Frame]:
+        return self._sets[alloc_id % self.n_sets]
+
+    def access(self, line_id: int) -> AccessResult:
+        """Touch ``line_id``: fill it (allocating/evicting as needed).
+
+        Returns an :class:`AccessResult`; the caller charges latency
+        and informs the coherence layer about evicted lines.
+        """
+        if line_id < 0:
+            raise MemoryModelError(f"negative line id {line_id}")
+        self.n_accesses += 1
+        alloc_id = line_id // self.lines_per_alloc
+        cache_set = self._set_of(alloc_id)
+        frame = cache_set.get(alloc_id)
+        if frame is not None:
+            if self.policy == "lru":
+                # re-insert at the back: dict order is recency order
+                cache_set.pop(alloc_id)
+                cache_set[alloc_id] = frame
+            if line_id in frame.lines:
+                self.n_line_hits += 1
+                return AccessResult(line_hit=True, frame_allocated=False)
+            frame.lines.add(line_id)
+            return AccessResult(line_hit=False, frame_allocated=False)
+        # Frame miss: allocate, evicting per policy if the set is full.
+        evicted_alloc: Optional[int] = None
+        evicted_lines: tuple[int, ...] = ()
+        if len(cache_set) >= self.ways:
+            if self.policy == "lru":
+                victim_key = next(iter(cache_set))
+            else:
+                victim_key = list(cache_set.keys())[
+                    int(self.rng.integers(len(cache_set)))
+                ]
+            victim = cache_set.pop(victim_key)
+            evicted_alloc = victim.alloc_id
+            evicted_lines = tuple(sorted(victim.lines))
+            self.n_evictions += 1
+        cache_set[alloc_id] = Frame(alloc_id, {line_id})
+        self.n_frame_allocs += 1
+        return AccessResult(
+            line_hit=False,
+            frame_allocated=True,
+            evicted_alloc_id=evicted_alloc,
+            evicted_lines=evicted_lines,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries / maintenance used by the coherence layer
+    # ------------------------------------------------------------------
+
+    def contains_line(self, line_id: int) -> bool:
+        """Whether ``line_id`` is currently present."""
+        frame = self._set_of(line_id // self.lines_per_alloc).get(
+            line_id // self.lines_per_alloc
+        )
+        return frame is not None and line_id in frame.lines
+
+    def contains_frame(self, alloc_id: int) -> bool:
+        """Whether the allocation unit has a frame (even if the
+        requested line is absent)."""
+        return alloc_id in self._set_of(alloc_id)
+
+    def drop_line(self, line_id: int) -> bool:
+        """Remove one line (keeps the frame).  Returns whether present."""
+        alloc_id = line_id // self.lines_per_alloc
+        frame = self._set_of(alloc_id).get(alloc_id)
+        if frame is None or line_id not in frame.lines:
+            return False
+        frame.lines.discard(line_id)
+        return True
+
+    def drop_frame(self, alloc_id: int) -> tuple[int, ...]:
+        """Remove a whole frame; returns the lines that were present."""
+        frame = self._set_of(alloc_id).pop(alloc_id, None)
+        if frame is None:
+            return ()
+        return tuple(sorted(frame.lines))
+
+    @property
+    def n_frames_used(self) -> int:
+        """Currently allocated frames across all sets."""
+        return sum(len(s) for s in self._sets)
+
+    @property
+    def hit_rate(self) -> float:
+        """Line hit rate over the cache's lifetime."""
+        if self.n_accesses == 0:
+            return 0.0
+        return self.n_line_hits / self.n_accesses
+
+    def reset_counters(self) -> None:
+        """Zero the statistics counters (contents untouched)."""
+        self.n_accesses = 0
+        self.n_line_hits = 0
+        self.n_frame_allocs = 0
+        self.n_evictions = 0

@@ -1,0 +1,19 @@
+"""Scalability metrics used throughout the paper's evaluation."""
+
+from repro.metrics.speedup import (
+    speedup,
+    efficiency,
+    karp_flatt_serial_fraction,
+    ScalingPoint,
+    ScalingTable,
+    is_superunitary_step,
+)
+
+__all__ = [
+    "speedup",
+    "efficiency",
+    "karp_flatt_serial_fraction",
+    "ScalingPoint",
+    "ScalingTable",
+    "is_superunitary_step",
+]

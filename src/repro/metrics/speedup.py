@@ -1,0 +1,151 @@
+"""Speedup, efficiency and the Karp-Flatt measured serial fraction.
+
+The paper reports, for each kernel (Tables 1 and 2):
+
+* speedup      ``S(p) = T(1) / T(p)``
+* efficiency   ``E(p) = S(p) / p``
+* serial fraction — the *experimentally determined serial fraction* of
+  Karp & Flatt, "Measuring parallel processor performance", CACM 33(5):
+
+      f(p) = (1/S(p) - 1/p) / (1 - 1/p)
+
+  A serial fraction that *decreases* with p signals superunitary
+  (cache-aided) speedup, as the paper observes for CG between 4 and 16
+  processors; one that *grows* signals an algorithmic or architectural
+  bottleneck, as for IS beyond 16 processors.
+
+Superunitary speedup follows Helmbold & McDowell's definition: a step
+from ``p`` to ``q > p`` processors is superunitary when the speedup
+grows by more than the processor ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "speedup",
+    "efficiency",
+    "karp_flatt_serial_fraction",
+    "is_superunitary_step",
+    "ScalingPoint",
+    "ScalingTable",
+]
+
+
+def speedup(t1: float, tp: float) -> float:
+    """``T(1) / T(p)``; both times must be positive."""
+    if t1 <= 0 or tp <= 0:
+        raise ConfigError("execution times must be positive")
+    return t1 / tp
+
+
+def efficiency(t1: float, tp: float, p: int) -> float:
+    """``S(p) / p``."""
+    if p < 1:
+        raise ConfigError("processor count must be >= 1")
+    return speedup(t1, tp) / p
+
+
+def karp_flatt_serial_fraction(t1: float, tp: float, p: int) -> float:
+    """The experimentally determined serial fraction f(p).
+
+    Undefined at ``p == 1`` (the paper prints a dash there); this
+    function requires ``p >= 2``.
+    """
+    if p < 2:
+        raise ConfigError("serial fraction needs p >= 2")
+    s = speedup(t1, tp)
+    return (1.0 / s - 1.0 / p) / (1.0 - 1.0 / p)
+
+
+def is_superunitary_step(sp_low: float, p_low: int, sp_high: float, p_high: int) -> bool:
+    """Whether speedup grew faster than processor count between two
+    measurements (Helmbold-McDowell superunitary behaviour)."""
+    if p_high <= p_low:
+        raise ConfigError("processor counts must increase")
+    if sp_low <= 0:
+        raise ConfigError("speedups must be positive")
+    return sp_high / sp_low > p_high / p_low
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One row of a Table-1-style scaling table."""
+
+    processors: int
+    time_s: float
+    speedup: float
+    efficiency: float
+    serial_fraction: float | None  # None at p == 1 (the paper's dash)
+
+    def row(self) -> list:
+        """Values in the paper's column order."""
+        return [
+            self.processors,
+            self.time_s,
+            self.speedup,
+            "-" if self.efficiency is None else self.efficiency,
+            "-" if self.serial_fraction is None else self.serial_fraction,
+        ]
+
+
+class ScalingTable:
+    """Accumulates (p, time) measurements into paper-style rows."""
+
+    def __init__(self) -> None:
+        self._points: list[tuple[int, float]] = []
+
+    def add(self, processors: int, time_s: float) -> None:
+        """Record a measurement; p values must be added increasing."""
+        if processors < 1 or time_s <= 0:
+            raise ConfigError("need p >= 1 and positive time")
+        if self._points and processors <= self._points[-1][0]:
+            raise ConfigError("add measurements in increasing processor order")
+        self._points.append((processors, time_s))
+
+    @property
+    def baseline_time(self) -> float:
+        """T(1); requires the first measurement to be at p == 1."""
+        if not self._points or self._points[0][0] != 1:
+            raise ConfigError("no single-processor baseline recorded")
+        return self._points[0][1]
+
+    def points(self) -> list[ScalingPoint]:
+        """The derived table rows."""
+        t1 = self.baseline_time
+        rows = []
+        for p, tp in self._points:
+            rows.append(
+                ScalingPoint(
+                    processors=p,
+                    time_s=tp,
+                    speedup=speedup(t1, tp),
+                    efficiency=efficiency(t1, tp, p) if p > 1 else 1.0,
+                    serial_fraction=(
+                        karp_flatt_serial_fraction(t1, tp, p) if p > 1 else None
+                    ),
+                )
+            )
+        return rows
+
+    def superunitary_steps(self) -> list[tuple[int, int]]:
+        """(p_low, p_high) pairs of consecutive measurements whose
+        speedup grew superunitarily."""
+        pts = self.points()
+        out = []
+        for a, b in zip(pts, pts[1:]):
+            if is_superunitary_step(a.speedup, a.processors, b.speedup, b.processors):
+                out.append((a.processors, b.processors))
+        return out
+
+    @staticmethod
+    def from_pairs(pairs: Sequence[tuple[int, float]]) -> "ScalingTable":
+        """Build from an iterable of (p, time) pairs."""
+        table = ScalingTable()
+        for p, t in pairs:
+            table.add(p, t)
+        return table

@@ -1,0 +1,25 @@
+"""The KSR interconnect: slotted pipelined rings and their hierarchy.
+
+``slotted_ring`` is the cycle-level model used by the discrete-event
+tier: transactions claim a circulating slot on one of two
+address-interleaved sub-rings and hold it for one full circuit.
+``hierarchy`` composes leaf rings with a level-1 ring through ARD
+routers.  ``contention`` is the closed-form load→latency model used by
+the phase-level (kernel) tier; its saturation behaviour is validated
+against the slotted model in the test suite.
+"""
+
+from repro.ring.slotted_ring import SlottedRing, RingGrant
+from repro.ring.ard import ArdRouter
+from repro.ring.hierarchy import RingHierarchy, PathTiming
+from repro.ring.contention import RingLoadModel, effective_remote_latency
+
+__all__ = [
+    "SlottedRing",
+    "RingGrant",
+    "ArdRouter",
+    "RingHierarchy",
+    "PathTiming",
+    "RingLoadModel",
+    "effective_remote_latency",
+]

@@ -1,0 +1,34 @@
+"""The ARD routing unit between ring levels.
+
+"These 'leaf' rings connect to rings of higher bandwidth through a
+routing unit (ARD)."  The ARD watches its leaf ring; when a request
+finds no responder at the current level it is propagated up to the
+level-1 ring (and from there down into the leaf ring that holds a
+copy).  We model the ARD as a fixed per-crossing latency plus the
+queueing of the rings it forwards onto.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ArdRouter"]
+
+
+@dataclass(frozen=True)
+class ArdRouter:
+    """Router between a leaf ring and the level-1 ring.
+
+    ``crossing_cycles`` is charged once per direction change
+    (leaf→level-1 or level-1→leaf); a full remote access to another
+    leaf ring crosses twice on the way out and the response rides the
+    same slots back, so the hierarchy charges ``2 * crossing_cycles``
+    per inter-ring transaction.
+    """
+
+    ring_index: int
+    crossing_cycles: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.crossing_cycles < 0:
+            raise ValueError("ARD crossing cost cannot be negative")

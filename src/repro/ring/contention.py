@@ -1,0 +1,93 @@
+"""Closed-form ring load → latency model (phase-level tier).
+
+The slotted ring behaves like a multi-server queue with
+``S = total_slots`` servers whose service time is one circuit.  For a
+parallel phase in which ``P`` processors each alternate between
+``think_cycles`` of local work and one remote transaction, the offered
+in-network population is
+
+    N = P * circuit / (L_eff + think)
+
+and the ring can hold at most ``S`` transactions.  Below saturation the
+latency inflates mildly with utilization (slot-alignment queueing);
+at saturation the latency is throughput-limited:
+
+    L_eff = max(L_queue(N/S), P * circuit / S - think)
+
+This reproduces the paper's two observations in one formula: a ~8 %
+latency rise when all 32 processors stream distinct remote accesses
+(Figure 2), and outright saturation for IS at 32 processors where the
+serial fraction jumps (Table 2).  The model is validated against the
+cycle-level slotted ring in ``tests/ring/test_contention.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.machine.config import RingConfig
+
+__all__ = ["RingLoadModel", "effective_remote_latency"]
+
+#: Strength of the sub-saturation queueing term.  Calibrated against
+#: the cycle-level slotted ring (tests/ring/test_contention.py); the
+#: ~8 % latency rise at a full 32-cell ring (section 3.1) comes mostly
+#: from the throughput-limited branch.
+_QUEUEING_COEFF = 0.05
+
+
+@dataclass(frozen=True)
+class RingLoadModel:
+    """Latency model for one ring level under a steady phase load."""
+
+    ring: RingConfig
+
+    def offered_population(self, n_procs: int, think_cycles: float, latency: float) -> float:
+        """Average number of in-flight transactions."""
+        if n_procs < 0 or think_cycles < 0:
+            raise ConfigError("load parameters must be non-negative")
+        cycle = latency + think_cycles
+        if cycle <= 0:
+            return 0.0
+        return n_procs * self.ring.slot_hold_cycles / cycle
+
+    def effective_latency(self, n_procs: int, think_cycles: float = 0.0) -> float:
+        """Steady-state remote latency for the phase (CPU cycles).
+
+        ``n_procs`` processors each issue remote transactions separated
+        by ``think_cycles`` of local work.
+        """
+        base = self.ring.remote_latency_cycles
+        if n_procs <= 1:
+            return base
+        slots = self.ring.total_slots
+        hold = self.ring.slot_hold_cycles
+        # Sub-saturation inflation from slot-alignment queueing.
+        rho = min(1.0, self.offered_population(n_procs, think_cycles, base) / slots)
+        queued = base * (1.0 + _QUEUEING_COEFF * rho * rho / max(1e-9, 1.0 - 0.5 * rho))
+        # Throughput-limited equilibrium when demand exceeds the slots.
+        saturated = n_procs * hold / slots - think_cycles
+        return max(queued, saturated)
+
+    def utilization(self, n_procs: int, think_cycles: float = 0.0) -> float:
+        """Fraction of slot capacity consumed at steady state."""
+        latency = self.effective_latency(n_procs, think_cycles)
+        return min(1.0, self.offered_population(n_procs, think_cycles, latency)
+                   / self.ring.total_slots)
+
+    def is_saturated(self, n_procs: int, think_cycles: float = 0.0) -> bool:
+        """Whether the phase saturates the ring (latency is
+        throughput-limited rather than queue-limited)."""
+        base = self.ring.remote_latency_cycles
+        saturated = (
+            n_procs * self.ring.slot_hold_cycles / self.ring.total_slots - think_cycles
+        )
+        return saturated > base * 1.05
+
+
+def effective_remote_latency(
+    ring: RingConfig, n_procs: int, think_cycles: float = 0.0
+) -> float:
+    """Convenience wrapper around :class:`RingLoadModel`."""
+    return RingLoadModel(ring).effective_latency(n_procs, think_cycles)

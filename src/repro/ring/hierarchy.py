@@ -1,0 +1,140 @@
+"""Two-level ring hierarchy.
+
+A KSR box is up to 34 leaf rings (32 cells each) hanging off one
+level-1 ring of higher bandwidth.  A same-ring transaction is one
+circuit of the leaf ring.  A cross-ring transaction chains three legs —
+source leaf ring, level-1 ring, destination leaf ring — each claiming a
+slot on its ring, plus two ARD crossings.  This is what produces the
+paper's "sudden jump in execution time when the number of processors is
+increased beyond 32" on the 64-cell KSR-2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.machine.config import MachineConfig
+from repro.ring.ard import ArdRouter
+from repro.ring.slotted_ring import RingGrant, SlottedRing
+from repro.util.rng import SeedStream
+
+__all__ = ["PathTiming", "RingHierarchy"]
+
+
+@dataclass(frozen=True)
+class PathTiming:
+    """Timing of a (possibly multi-ring) transaction."""
+
+    requested_at: float
+    completed_at: float
+    wait_cycles: float
+    crossed_rings: bool
+    legs: tuple[RingGrant, ...]
+
+    @property
+    def total_cycles(self) -> float:
+        """End-to-end latency including queueing on every leg."""
+        return self.completed_at - self.requested_at
+
+
+class RingHierarchy:
+    """All rings of one machine, with slot-level contention per ring."""
+
+    #: Bandwidth multiple of the level-1 ring over a leaf ring (the
+    #: paper only says "higher bandwidth"; the KSR:HighBandwidth level-1
+    #: ring was 2x in the shipped machines).
+    LEVEL1_BANDWIDTH_FACTOR = 2
+
+    def __init__(self, config: MachineConfig, seeds: SeedStream):
+        self.config = config
+        self.leaf_rings = [
+            SlottedRing(config.ring, seeds.rng(f"ring/leaf/{i}"))
+            for i in range(config.n_rings)
+        ]
+        self.ards = [ArdRouter(ring_index=i) for i in range(config.n_rings)]
+        level1_cfg = replace(
+            config.ring,
+            slots_per_subring=config.ring.slots_per_subring * self.LEVEL1_BANDWIDTH_FACTOR,
+        )
+        self.level1 = SlottedRing(level1_cfg, seeds.rng("ring/level1"))
+
+    # ------------------------------------------------------------------
+
+    def ring_of(self, cell_id: int) -> int:
+        """Leaf ring hosting ``cell_id``."""
+        return self.config.ring_of(cell_id)
+
+    def transact(
+        self,
+        now: float,
+        src_cell: int,
+        dst_cell: int | None,
+        subpage_id: int,
+    ) -> PathTiming:
+        """Time a coherence transaction from ``src_cell``.
+
+        ``dst_cell`` is the responding cell (owner/holder of the
+        subpage); ``None`` means the request is satisfied on the source
+        ring (e.g. an invalidation round with all sharers local, or a
+        miss that allocates fresh data).
+        """
+        src_ring = self.ring_of(src_cell)
+        if dst_cell is None or self.ring_of(dst_cell) == src_ring:
+            grant = self.leaf_rings[src_ring].transact(now, subpage_id)
+            return PathTiming(
+                requested_at=now,
+                completed_at=grant.completed_at,
+                wait_cycles=grant.wait_cycles,
+                crossed_rings=False,
+                legs=(grant,),
+            )
+        dst_ring = self.ring_of(dst_cell)
+        ard_cost = self.ards[src_ring].crossing_cycles + self.ards[dst_ring].crossing_cycles
+        leg1 = self.leaf_rings[src_ring].transact(now, subpage_id, overhead_cycles=0.0)
+        leg2 = self.level1.transact(
+            leg1.completed_at + self.ards[src_ring].crossing_cycles,
+            subpage_id,
+            overhead_cycles=0.0,
+        )
+        leg3 = self.leaf_rings[dst_ring].transact(
+            leg2.completed_at + self.ards[dst_ring].crossing_cycles,
+            subpage_id,
+        )
+        wait = leg1.wait_cycles + leg2.wait_cycles + leg3.wait_cycles
+        return PathTiming(
+            requested_at=now,
+            completed_at=leg3.completed_at,
+            wait_cycles=wait,
+            crossed_rings=True,
+            legs=(leg1, leg2, leg3),
+        )
+
+    # ------------------------------------------------------------------
+
+    def uncontended_latency(self, src_cell: int, dst_cell: int | None) -> float:
+        """Zero-load latency of the path (no slot queueing, no jitter)."""
+        cfg = self.config
+        if dst_cell is None or cfg.same_ring(src_cell, dst_cell):
+            return cfg.ring.remote_latency_cycles
+        src_ring, dst_ring = self.ring_of(src_cell), self.ring_of(dst_cell)
+        return (
+            cfg.ring.circuit_cycles  # source leaf leg
+            + self.level1.config.circuit_cycles
+            + cfg.ring.remote_latency_cycles  # destination leaf leg + overhead
+            + self.ards[src_ring].crossing_cycles
+            + self.ards[dst_ring].crossing_cycles
+        )
+
+    @property
+    def n_transactions(self) -> int:
+        """Total transactions across all rings."""
+        return self.level1.n_transactions + sum(r.n_transactions for r in self.leaf_rings)
+
+    def validate_cells(self, *cells: int) -> None:
+        """Raise ConfigError for out-of-range cell ids (test helper)."""
+        for c in cells:
+            if not 0 <= c < self.config.n_cells:
+                raise ConfigError(f"cell {c} out of range")

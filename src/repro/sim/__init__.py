@@ -1,0 +1,47 @@
+"""Discrete-event simulation kernel.
+
+A deliberately small core: an :class:`Engine` with a cycle-valued clock
+and an event queue, a generator-coroutine :class:`Process` abstraction,
+and the vocabulary of :class:`Op` objects that simulated threads yield
+(reads, writes, the KSR special instructions, spin-waits).
+
+The interpretation of ops — how many cycles a read costs, what a
+poststore does to other caches — lives in :mod:`repro.machine.cell`;
+this package knows nothing about the KSR.
+"""
+
+from repro.sim.engine import Engine, Event
+from repro.sim.process import (
+    Process,
+    Op,
+    Compute,
+    LocalOps,
+    Read,
+    Write,
+    GetSubpage,
+    ReleaseSubpage,
+    Prefetch,
+    Poststore,
+    WaitUntil,
+    Fence,
+)
+from repro.sim.tracing import Trace, TraceRecord
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Process",
+    "Op",
+    "Compute",
+    "LocalOps",
+    "Read",
+    "Write",
+    "GetSubpage",
+    "ReleaseSubpage",
+    "Prefetch",
+    "Poststore",
+    "WaitUntil",
+    "Fence",
+    "Trace",
+    "TraceRecord",
+]

@@ -1,0 +1,131 @@
+"""The event queue at the heart of the simulator.
+
+Time is a float, measured in CPU cycles of the simulated machine
+(fractional cycles arise from ring hop times).  Events scheduled for
+the same instant fire in scheduling order, which keeps runs
+deterministic without any reliance on heap tie-breaking.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["Engine", "Event"]
+
+
+class Event:
+    """A scheduled callback; returned by :meth:`Engine.schedule`.
+
+    Cancellation is lazy: :meth:`cancel` marks the event and the engine
+    skips it when it surfaces.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing (no-op if already fired)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"Event(t={self.time:.1f}, {name}{'(cancelled)' if self.cancelled else ''})"
+
+
+class Engine:
+    """A minimal deterministic discrete-event engine.
+
+    >>> eng = Engine()
+    >>> fired = []
+    >>> _ = eng.schedule(10, fired.append, "a")
+    >>> _ = eng.schedule(5, fired.append, "b")
+    >>> eng.run()
+    >>> fired, eng.now
+    (['b', 'a'], 10.0)
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._now = 0.0
+        self._seq = 0
+        self._n_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in cycles."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (for tests/diagnostics)."""
+        return self._n_fired
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = Event(self._now + delay, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute ``time``."""
+        return self.schedule(time - self._now, callback, *args)
+
+    def step(self) -> bool:
+        """Fire the next non-cancelled event.  Returns False when idle."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulationError(
+                    f"event queue corrupt: event at {event.time} < now {self._now}"
+                )
+            self._now = event.time
+            self._n_fired += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Run until the queue drains, ``until`` cycles pass, or
+        ``max_events`` further events fire.
+
+        ``until`` is an absolute simulation time; events scheduled
+        beyond it remain queued and ``now`` advances to ``until``.
+        """
+        fired = 0
+        while self._queue:
+            if max_events is not None and fired >= max_events:
+                return
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and head.time > until:
+                self._now = max(self._now, until)
+                return
+            if not self.step():
+                break
+            fired += 1
+        if until is not None:
+            self._now = max(self._now, until)

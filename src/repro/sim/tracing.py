@@ -1,0 +1,88 @@
+"""Optional op-level tracing.
+
+A :class:`Trace` can be attached to a machine to record every executed
+op with its start time and charged latency.  Used by tests to assert on
+protocol behaviour (e.g. "the second read of an invalidated flag was a
+snarf, not a ring transaction") and by examples to illustrate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["TraceRecord", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One executed op."""
+
+    time: float
+    cell_id: int
+    process: str
+    kind: str
+    addr: int | None
+    cycles: float
+    detail: str = ""
+
+    def __str__(self) -> str:
+        where = f" @0x{self.addr:x}" if self.addr is not None else ""
+        extra = f" [{self.detail}]" if self.detail else ""
+        return (
+            f"t={self.time:12.1f} cell={self.cell_id:3d} {self.process:<16s} "
+            f"{self.kind:<12s}{where} ({self.cycles:.1f} cy){extra}"
+        )
+
+
+class Trace:
+    """Append-only container of :class:`TraceRecord`.
+
+    Filtering helpers keep test assertions readable.
+    """
+
+    def __init__(self, capacity: int | None = None):
+        self.records: list[TraceRecord] = []
+        self.capacity = capacity
+        self.dropped = 0
+
+    def record(
+        self,
+        time: float,
+        cell_id: int,
+        process: str,
+        kind: str,
+        addr: int | None,
+        cycles: float,
+        detail: str = "",
+    ) -> None:
+        """Append a record (drops silently past ``capacity``)."""
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(time, cell_id, process, kind, addr, cycles, detail))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def by_kind(self, kind: str) -> list[TraceRecord]:
+        """All records of one op kind (``'read'``, ``'poststore'``, ...)."""
+        return [r for r in self.records if r.kind == kind]
+
+    def by_cell(self, cell_id: int) -> list[TraceRecord]:
+        """All records from one cell."""
+        return [r for r in self.records if r.cell_id == cell_id]
+
+    def by_addr(self, addr: int) -> list[TraceRecord]:
+        """All records touching one address."""
+        return [r for r in self.records if r.addr == addr]
+
+    def dump(self, limit: int = 50) -> str:
+        """The first ``limit`` records, one per line."""
+        lines = [str(r) for r in self.records[:limit]]
+        if len(self.records) > limit:
+            lines.append(f"... {len(self.records) - limit} more")
+        return "\n".join(lines)

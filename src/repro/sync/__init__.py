@@ -1,0 +1,45 @@
+"""Synchronization algorithms from the paper's section 3.2.
+
+Locks: the hardware exclusive lock (a bare ``get_subpage``) and the
+software FCFS read-write ticket lock with reader combining.
+
+Barriers: all nine variants of Figure 4/5 — counter, dynamic combining
+tree, dissemination, tournament, MCS, the global-wakeup-flag (M)
+modifications of tree/tournament/MCS, and the "System" library barrier.
+"""
+
+from repro.sync.locks import (
+    HardwareExclusiveLock,
+    McsQueueLock,
+    TicketReadWriteLock,
+    LockWorkloadParams,
+    run_lock_workload,
+)
+from repro.sync.barriers import (
+    BarrierAlgorithm,
+    CounterBarrier,
+    TreeBarrier,
+    DisseminationBarrier,
+    TournamentBarrier,
+    McsBarrier,
+    SystemBarrier,
+    BARRIER_REGISTRY,
+    make_barrier,
+)
+
+__all__ = [
+    "HardwareExclusiveLock",
+    "McsQueueLock",
+    "TicketReadWriteLock",
+    "LockWorkloadParams",
+    "run_lock_workload",
+    "BarrierAlgorithm",
+    "CounterBarrier",
+    "TreeBarrier",
+    "DisseminationBarrier",
+    "TournamentBarrier",
+    "McsBarrier",
+    "SystemBarrier",
+    "BARRIER_REGISTRY",
+    "make_barrier",
+]

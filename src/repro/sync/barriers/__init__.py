@@ -1,0 +1,60 @@
+"""Barrier algorithm library: the nine variants of Figures 4 and 5.
+
+``BARRIER_REGISTRY`` maps the paper's curve labels to factories;
+:func:`make_barrier` builds one by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.machine.api import SharedMemory
+from repro.sync.barriers.base import BarrierAlgorithm
+from repro.sync.barriers.counter import CounterBarrier
+from repro.sync.barriers.dissemination import DisseminationBarrier
+from repro.sync.barriers.mcs import McsBarrier
+from repro.sync.barriers.system import SystemBarrier
+from repro.sync.barriers.tournament import TournamentBarrier
+from repro.sync.barriers.tree import TreeBarrier
+
+__all__ = [
+    "BarrierAlgorithm",
+    "CounterBarrier",
+    "TreeBarrier",
+    "DisseminationBarrier",
+    "TournamentBarrier",
+    "McsBarrier",
+    "SystemBarrier",
+    "BARRIER_REGISTRY",
+    "make_barrier",
+]
+
+BARRIER_REGISTRY: dict[str, Callable[..., BarrierAlgorithm]] = {
+    "counter": CounterBarrier,
+    "tree": lambda mem, n, **kw: TreeBarrier(mem, n, global_wakeup=False, **kw),
+    "tree(M)": lambda mem, n, **kw: TreeBarrier(mem, n, global_wakeup=True, **kw),
+    "dissemination": DisseminationBarrier,
+    "tournament": lambda mem, n, **kw: TournamentBarrier(
+        mem, n, global_wakeup=False, **kw
+    ),
+    "tournament(M)": lambda mem, n, **kw: TournamentBarrier(
+        mem, n, global_wakeup=True, **kw
+    ),
+    "mcs": lambda mem, n, **kw: McsBarrier(mem, n, global_wakeup=False, **kw),
+    "mcs(M)": lambda mem, n, **kw: McsBarrier(mem, n, global_wakeup=True, **kw),
+    "system": SystemBarrier,
+}
+
+
+def make_barrier(
+    name: str, mem: SharedMemory, n_procs: int, *, use_poststore: bool = True
+) -> BarrierAlgorithm:
+    """Build a barrier by its Figure 4 curve label."""
+    try:
+        factory = BARRIER_REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown barrier {name!r}; choose from {sorted(BARRIER_REGISTRY)}"
+        ) from None
+    return factory(mem, n_procs, use_poststore=use_poststore)

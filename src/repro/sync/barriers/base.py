@@ -1,0 +1,63 @@
+"""Common barrier interface.
+
+A barrier object is built once for ``n_procs`` participants over a
+:class:`~repro.machine.api.SharedMemory`; each thread then calls
+
+    yield from barrier.wait(pid, episode)
+
+with ``episode`` counting its own barrier crossings from 0.  Episode
+numbers replace sense-reversal: flags carry monotonically increasing
+episode values, so barriers are trivially reusable and a stale wakeup
+can never be confused with a fresh one.
+
+All shared variables are allocated on their own subpages ("we have
+aligned (whenever possible) mutually exclusive parts of shared data
+structures on separate cache lines so that there is no false sharing")
+— except where an algorithm's defining structure *is* false sharing,
+namely the MCS 4-child arrival word.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Generator
+
+from repro.errors import ConfigError
+from repro.machine.api import SharedMemory
+from repro.sim.process import Op
+
+__all__ = ["BarrierAlgorithm"]
+
+
+class BarrierAlgorithm(abc.ABC):
+    """Base class of all barrier implementations."""
+
+    #: Registry key; subclasses set it (e.g. ``"tournament"``).
+    name: str = "abstract"
+
+    def __init__(self, mem: SharedMemory, n_procs: int, *, use_poststore: bool = True):
+        if n_procs < 1:
+            raise ConfigError("a barrier needs at least one participant")
+        self.mem = mem
+        self.n_procs = n_procs
+        self.use_poststore = use_poststore
+
+    @abc.abstractmethod
+    def wait(self, pid: int, episode: int) -> Generator[Op, Any, None]:
+        """Arrive at the barrier and block until everyone has."""
+
+    def _check_pid(self, pid: int) -> None:
+        if not 0 <= pid < self.n_procs:
+            raise ConfigError(
+                f"pid {pid} out of range for a {self.n_procs}-way barrier"
+            )
+
+    @staticmethod
+    def rounds_for(n: int) -> int:
+        """ceil(log2(n)) — the number of pairing rounds for n players."""
+        rounds = 0
+        span = 1
+        while span < n:
+            span *= 2
+            rounds += 1
+        return rounds

@@ -1,0 +1,55 @@
+"""Algorithm 1: the naive counter barrier.
+
+"A global counter is decremented by each processor upon arrival.  The
+counter becoming zero is the indication of barrier completion, and this
+is observed independently by each processor by testing the counter."
+
+Every arrival costs at least two serialized ring accesses on the *same*
+subpage (fetch the counter exclusively, and the spinners' combined
+re-read), so the pipelined ring cannot help — this is the hot-spot
+algorithm that anchors the top of Figure 4.
+
+Reuse across episodes rotates over three counters: the last arriver of
+episode ``e`` re-arms the counter of episode ``e + 2``, which no thread
+can reach before every thread has passed episode ``e + 1`` — so the
+re-arm can never race a decrement.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.machine.api import SharedMemory
+from repro.sim.process import GetSubpage, Op, Read, ReleaseSubpage, WaitUntil, Write
+from repro.sync.barriers.base import BarrierAlgorithm
+
+__all__ = ["CounterBarrier"]
+
+
+class CounterBarrier(BarrierAlgorithm):
+    """Centralized counter with atomic decrement via get_subpage."""
+
+    name = "counter"
+
+    def __init__(self, mem: SharedMemory, n_procs: int, *, use_poststore: bool = True):
+        super().__init__(mem, n_procs, use_poststore=use_poststore)
+        self.counters = [mem.alloc_word() for _ in range(3)]
+        for c in self.counters:
+            mem.poke(c, n_procs)
+
+    def wait(self, pid: int, episode: int) -> Generator[Op, Any, None]:
+        """Decrement; the last arriver re-arms a future counter; all
+        others spin on the counter reaching zero."""
+        self._check_pid(pid)
+        counter = self.counters[episode % 3]
+        future = self.counters[(episode + 2) % 3]
+        yield GetSubpage(counter)
+        value = yield Read(counter)
+        yield Write(counter, value - 1)
+        yield ReleaseSubpage(counter)
+        if value - 1 == 0:
+            # last arriver re-arms episode e+2's counter, which nobody
+            # can touch before every thread has crossed episode e+1
+            yield Write(future, self.n_procs)
+        else:
+            yield WaitUntil(counter, lambda v: v == 0)

@@ -1,0 +1,50 @@
+"""Algorithm 3: the dissemination barrier (Hensgen/Finkel/Manber).
+
+"A dissemination barrier, which involves exchanging messages for
+ceil(log2 P) rounds as processors arrive at the barrier.  In each round
+a total of P messages are exchanged ...  after the rounds are over all
+the processors are aware of barrier completion."
+
+In round ``r`` processor ``i`` notifies processor ``(i + 2^r) mod P``
+and waits for the notification from ``(i - 2^r) mod P``.  All P
+notifications of one round land on distinct subpages, so the pipelined
+ring carries them in parallel — but the algorithm still performs
+O(P log P) total communications, which is why it trails tournament and
+MCS on the KSR-1 while beating the hot-spot counter.
+
+Flags carry episode numbers, so no reset phase is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.machine.api import SharedMemory
+from repro.sim.process import Op, Poststore, WaitUntil, Write
+from repro.sync.barriers.base import BarrierAlgorithm
+
+__all__ = ["DisseminationBarrier"]
+
+
+class DisseminationBarrier(BarrierAlgorithm):
+    """Symmetric log-round notification exchange."""
+
+    name = "dissemination"
+
+    def __init__(self, mem: SharedMemory, n_procs: int, *, use_poststore: bool = True):
+        super().__init__(mem, n_procs, use_poststore=use_poststore)
+        self.n_rounds = self.rounds_for(n_procs)
+        # flags[r][i]: the flag processor i waits on in round r
+        self.flags = [
+            [mem.alloc_word() for _ in range(n_procs)] for r in range(self.n_rounds)
+        ]
+
+    def wait(self, pid: int, episode: int) -> Generator[Op, Any, None]:
+        """Notify ``pid + 2^r``, await ``pid - 2^r``, for each round."""
+        self._check_pid(pid)
+        for r in range(self.n_rounds):
+            partner = (pid + (1 << r)) % self.n_procs
+            yield Write(self.flags[r][partner], episode + 1)
+            if self.use_poststore:
+                yield Poststore(self.flags[r][partner])
+            yield WaitUntil(self.flags[r][pid], lambda v, e=episode: v > e)

@@ -1,0 +1,115 @@
+"""Algorithm 5: the MCS tree barrier (Mellor-Crummey & Scott).
+
+A 4-ary *arrival* tree — every processor is a tree node; it waits for
+its (up to) four children to report, then reports to its own parent —
+and a binary *wakeup* tree.
+
+The defining implementation detail, faithfully modelled: the four
+children report by "setting a designated byte of a 32-bit word" at the
+parent.  Those four flags share one subpage here, so each child's write
+must pull the subpage exclusive over the ring and the parent's spin
+re-reads interleave with them: "each node in the MCS tree incurs 4
+sequential communication steps in the best case, and 8 in the worst
+(owing to false sharing)".  On the KSR-1 this cancels the 4-ary tree's
+halved height, which is why MCS ties tournament in Figure 4 and only
+pulls slightly ahead on the faster-clocked KSR-2.
+
+The (M) variant wakes through one poststored global flag.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.errors import ConfigError
+from repro.machine.api import SharedMemory
+from repro.machine.config import SUBPAGE_BYTES
+from repro.sim.process import Op, Poststore, WaitUntil, Write
+from repro.sync.barriers.base import BarrierAlgorithm
+
+__all__ = ["McsBarrier"]
+
+_ARRIVAL_ARITY = 4
+
+
+class McsBarrier(BarrierAlgorithm):
+    """4-ary arrival / binary wakeup tree; ``global_wakeup=True`` gives
+    MCS(M)."""
+
+    name = "mcs"
+
+    def __init__(
+        self,
+        mem: SharedMemory,
+        n_procs: int,
+        *,
+        global_wakeup: bool = False,
+        use_poststore: bool = True,
+    ):
+        super().__init__(mem, n_procs, use_poststore=use_poststore)
+        self.global_wakeup = global_wakeup
+        if global_wakeup:
+            self.name = "mcs(M)"
+        # childnotready words: 4 words *sharing one subpage* per node —
+        # the false sharing is the algorithm's structure, not an
+        # accident, so it is deliberately not padded away.
+        self.child_flags: list[list[int]] = []
+        for node in range(n_procs):
+            base = mem.alloc(_ARRIVAL_ARITY * 8, align=SUBPAGE_BYTES)
+            if _ARRIVAL_ARITY * 8 > SUBPAGE_BYTES:
+                raise ConfigError("arrival word must fit one subpage")
+            self.child_flags.append([base + 8 * k for k in range(_ARRIVAL_ARITY)])
+        # binary wakeup flags: one padded word per node
+        self.wakeup = [mem.alloc_word() for _ in range(n_procs)]
+        self.flag = mem.alloc_word()
+
+    # tree helpers ------------------------------------------------------
+
+    def arrival_children(self, node: int) -> list[int]:
+        """Children of ``node`` in the 4-ary arrival tree."""
+        first = _ARRIVAL_ARITY * node + 1
+        return [c for c in range(first, first + _ARRIVAL_ARITY) if c < self.n_procs]
+
+    def arrival_parent(self, node: int) -> tuple[int, int]:
+        """(parent, slot-index-at-parent) of ``node``."""
+        return (node - 1) // _ARRIVAL_ARITY, (node - 1) % _ARRIVAL_ARITY
+
+    def wakeup_children(self, node: int) -> list[int]:
+        """Children of ``node`` in the binary wakeup tree."""
+        return [c for c in (2 * node + 1, 2 * node + 2) if c < self.n_procs]
+
+    # -------------------------------------------------------------------
+
+    def wait(self, pid: int, episode: int) -> Generator[Op, Any, None]:
+        """Gather children, report to parent, await wakeup, fan out."""
+        self._check_pid(pid)
+        if self.n_procs == 1:
+            return
+        # Phase 1: wait for all arrival children (4 flags, one subpage).
+        for slot, child in enumerate(self.arrival_children(pid)):
+            yield WaitUntil(self.child_flags[pid][slot], lambda v, e=episode: v > e)
+        # Phase 2: report to the arrival parent (root has none).  The
+        # child flags deliberately get no poststore: a broadcast of the
+        # false-shared word would serialize behind the siblings' writes
+        # on the same subpage and only add traffic — the parent's spin
+        # re-read (snarfed by the other siblings' place-holders) is the
+        # efficient delivery here.
+        if pid != 0:
+            parent, slot = self.arrival_parent(pid)
+            yield Write(self.child_flags[parent][slot], episode + 1)
+            # Phase 3: await wakeup.
+            if self.global_wakeup:
+                yield WaitUntil(self.flag, lambda v, e=episode: v > e)
+            else:
+                yield WaitUntil(self.wakeup[pid], lambda v, e=episode: v > e)
+        # Phase 4: propagate the wakeup.
+        if self.global_wakeup:
+            if pid == 0:
+                yield Write(self.flag, episode + 1)
+                if self.use_poststore:
+                    yield Poststore(self.flag)
+            return
+        for child in self.wakeup_children(pid):
+            yield Write(self.wakeup[child], episode + 1)
+            if self.use_poststore:
+                yield Poststore(self.wakeup[child])

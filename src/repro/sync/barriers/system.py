@@ -1,0 +1,43 @@
+"""The "System" barrier: the vendor pthread library barrier.
+
+The paper observes that "the performance of the system library provided
+pthread barriers ... is almost similar to that of the dynamic-tree
+barrier with global wakeup flag".  We model it accordingly: a tree(M)
+barrier wrapped in the fixed software overhead of a library call
+(argument checking, descriptor lookup, thread bookkeeping) on entry and
+exit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.machine.api import SharedMemory
+from repro.sim.process import LocalOps, Op
+from repro.sync.barriers.base import BarrierAlgorithm
+from repro.sync.barriers.tree import TreeBarrier
+
+__all__ = ["SystemBarrier"]
+
+
+class SystemBarrier(BarrierAlgorithm):
+    """pthread-style library barrier (tree(M) + call overhead)."""
+
+    name = "system"
+
+    #: Local operations charged for the library-call path on each side
+    #: of the barrier proper.
+    CALL_OVERHEAD_LOCAL_OPS = 60
+
+    def __init__(self, mem: SharedMemory, n_procs: int, *, use_poststore: bool = True):
+        super().__init__(mem, n_procs, use_poststore=use_poststore)
+        self._inner = TreeBarrier(
+            mem, n_procs, global_wakeup=True, use_poststore=use_poststore
+        )
+
+    def wait(self, pid: int, episode: int) -> Generator[Op, Any, None]:
+        """Library entry, tree(M) barrier, library exit."""
+        self._check_pid(pid)
+        yield LocalOps(self.CALL_OVERHEAD_LOCAL_OPS)
+        yield from self._inner.wait(pid, episode)
+        yield LocalOps(self.CALL_OVERHEAD_LOCAL_OPS)

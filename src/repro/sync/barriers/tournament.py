@@ -1,0 +1,103 @@
+"""Algorithm 4: the tournament barrier (and tournament(M)).
+
+"A tournament barrier (another tree-style algorithm ...) in which the
+winner in each round is determined statically."
+
+Round ``r`` pairs player ``w`` (with the low ``r+1`` bits of its id
+zero) against ``w + 2^r``; the loser is statically known, writes its
+arrival flag at the match and waits for wakeup; the winner spins on
+that flag and advances.  No atomic operations anywhere — this is what
+lets every match of a round proceed in parallel on the pipelined ring,
+1 communication step per round best case (2 worst), versus MCS's 4 (8)
+— the paper's explanation for tournament(M) being the overall winner
+on the KSR-1.
+
+Wakeup is the reverse tournament: each player wakes the losers of the
+matches it won, champion first.  The (M) variant replaces that with a
+single poststored global flag.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.machine.api import SharedMemory
+from repro.sim.process import Op, Poststore, WaitUntil, Write
+from repro.sync.barriers.base import BarrierAlgorithm
+
+__all__ = ["TournamentBarrier"]
+
+
+class TournamentBarrier(BarrierAlgorithm):
+    """Static binary tournament; ``global_wakeup=True`` gives
+    tournament(M)."""
+
+    name = "tournament"
+
+    def __init__(
+        self,
+        mem: SharedMemory,
+        n_procs: int,
+        *,
+        global_wakeup: bool = False,
+        use_poststore: bool = True,
+    ):
+        super().__init__(mem, n_procs, use_poststore=use_poststore)
+        self.global_wakeup = global_wakeup
+        if global_wakeup:
+            self.name = "tournament(M)"
+        self.n_rounds = self.rounds_for(n_procs)
+        # arrival[r][w]: the flag the round-r loser sets at winner w
+        self.arrival = [
+            {
+                w: mem.alloc_word()
+                for w in range(0, n_procs, 1 << (r + 1))
+                if w + (1 << r) < n_procs
+            }
+            for r in range(self.n_rounds)
+        ]
+        # per-player wakeup flag (used by the tree-wakeup variant)
+        self.wakeup = [mem.alloc_word() for _ in range(n_procs)]
+        self.flag = mem.alloc_word()
+
+    def wait(self, pid: int, episode: int) -> Generator[Op, Any, None]:
+        """Play the bracket; champion triggers the wakeup phase."""
+        self._check_pid(pid)
+        if self.n_procs == 1:
+            return
+        won_rounds: list[int] = []
+        lost_round: int | None = None
+        for r in range(self.n_rounds):
+            step = 1 << r
+            if pid % (step << 1) == 0:
+                # winner of this round (or bye if no opponent)
+                if pid + step < self.n_procs:
+                    yield WaitUntil(
+                        self.arrival[r][pid], lambda v, e=episode: v > e
+                    )
+                    won_rounds.append(r)
+            else:
+                # statically determined loser: report and wait
+                winner = pid - step
+                yield Write(self.arrival[r][winner], episode + 1)
+                if self.use_poststore:
+                    yield Poststore(self.arrival[r][winner])
+                lost_round = r
+                break
+        if lost_round is not None:
+            if self.global_wakeup:
+                yield WaitUntil(self.flag, lambda v, e=episode: v > e)
+            else:
+                yield WaitUntil(self.wakeup[pid], lambda v, e=episode: v > e)
+        if self.global_wakeup:
+            if lost_round is None:  # champion
+                yield Write(self.flag, episode + 1)
+                if self.use_poststore:
+                    yield Poststore(self.flag)
+            return
+        # Tree wakeup: wake the losers of won matches, top round first.
+        for r in reversed(won_rounds):
+            loser = pid + (1 << r)
+            yield Write(self.wakeup[loser], episode + 1)
+            if self.use_poststore:
+                yield Poststore(self.wakeup[loser])

@@ -1,0 +1,123 @@
+"""Algorithm 2: the dynamic combining-tree barrier (and tree(M)).
+
+"A tree combining barrier that reduces the hot spot contention ... by
+allocating a barrier variable (a counter) for every pair of processors.
+The processors are the leaves of the binary tree, and the higher levels
+of the tree get constructed dynamically as the processors reach the
+barrier ...  The last processor to arrive at the barrier will reach the
+root of the arrival tree and becomes responsible for starting the
+notification of barrier completion down this same binary tree."
+
+The fetch-and-increment at every node uses ``get_subpage`` — the mutual
+exclusion whose cost makes this algorithm degrade as P grows.
+
+Counters are *cumulative* (never reset): node ``(level, j)`` with
+``expected`` reporters is complete for episode ``e`` when its count
+reaches ``expected * (e + 1)`` — reuse without re-arm races.
+
+The (M) variant replaces the wakeup tree with one global flag written
+by the last arriver (poststored, snarfed by every spinner) — the
+modification from Mellor-Crummey & Scott's paper that the authors found
+to produce a "remarkable performance enhancement".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.machine.api import SharedMemory
+from repro.sim.process import (
+    GetSubpage,
+    Op,
+    Poststore,
+    Read,
+    ReleaseSubpage,
+    WaitUntil,
+    Write,
+)
+from repro.sync.barriers.base import BarrierAlgorithm
+
+__all__ = ["TreeBarrier"]
+
+
+class TreeBarrier(BarrierAlgorithm):
+    """Dynamic combining tree; ``global_wakeup=True`` gives tree(M)."""
+
+    name = "tree"
+
+    def __init__(
+        self,
+        mem: SharedMemory,
+        n_procs: int,
+        *,
+        global_wakeup: bool = False,
+        use_poststore: bool = True,
+    ):
+        super().__init__(mem, n_procs, use_poststore=use_poststore)
+        self.global_wakeup = global_wakeup
+        if global_wakeup:
+            self.name = "tree(M)"
+        self.n_levels = self.rounds_for(n_procs)
+        # node (level, j) covers pids [j * 2^(level+1), (j+1) * 2^(level+1))
+        self.counters: list[list[int]] = []
+        self.wakeups: list[list[int]] = []
+        self.expected: list[list[int]] = []
+        for level in range(self.n_levels):
+            span = 1 << (level + 1)
+            n_nodes = -(-n_procs // span)
+            self.counters.append([mem.alloc_word() for _ in range(n_nodes)])
+            self.wakeups.append([mem.alloc_word() for _ in range(n_nodes)])
+            half = span // 2
+            self.expected.append(
+                [
+                    # arrivals = non-empty halves of the node's pid range
+                    sum(
+                        1
+                        for base in (j * span, j * span + half)
+                        if base < n_procs
+                    )
+                    for j in range(n_nodes)
+                ]
+            )
+        self.flag = mem.alloc_word()
+
+    def wait(self, pid: int, episode: int) -> Generator[Op, Any, None]:
+        """Climb while last-at-node; wait where not; wake downwards."""
+        self._check_pid(pid)
+        if self.n_procs == 1:
+            return
+        won_path: list[tuple[int, int]] = []  # nodes this pid completed
+        stopped_at: tuple[int, int] | None = None
+        idx = pid
+        for level in range(self.n_levels):
+            j = idx // 2
+            counter = self.counters[level][j]
+            yield GetSubpage(counter)
+            count = yield Read(counter)
+            yield Write(counter, count + 1)
+            yield ReleaseSubpage(counter)
+            if count + 1 < self.expected[level][j] * (episode + 1):
+                stopped_at = (level, j)
+                break
+            won_path.append((level, j))
+            idx = j
+        if stopped_at is not None:
+            if self.global_wakeup:
+                yield WaitUntil(self.flag, lambda v, e=episode: v > e)
+            else:
+                level, j = stopped_at
+                yield WaitUntil(
+                    self.wakeups[level][j], lambda v, e=episode: v > e
+                )
+        # Wake everything below the nodes this pid completed.
+        if self.global_wakeup:
+            if stopped_at is None:  # the overall last arriver
+                yield Write(self.flag, episode + 1)
+                if self.use_poststore:
+                    yield Poststore(self.flag)
+            return
+        for level, j in reversed(won_path):
+            if self.expected[level][j] > 1:  # a partner is waiting there
+                yield Write(self.wakeups[level][j], episode + 1)
+                if self.use_poststore:
+                    yield Poststore(self.wakeups[level][j])

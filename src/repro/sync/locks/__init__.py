@@ -1,0 +1,14 @@
+"""Lock algorithms and the synthetic lock workload of section 3.2.1."""
+
+from repro.sync.locks.hardware import HardwareExclusiveLock
+from repro.sync.locks.mcs_queue import McsQueueLock
+from repro.sync.locks.ticket_rw import TicketReadWriteLock
+from repro.sync.locks.workload import LockWorkloadParams, run_lock_workload
+
+__all__ = [
+    "HardwareExclusiveLock",
+    "McsQueueLock",
+    "TicketReadWriteLock",
+    "LockWorkloadParams",
+    "run_lock_workload",
+]

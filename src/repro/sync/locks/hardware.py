@@ -1,0 +1,66 @@
+"""The hardware exclusive lock: a bare get_subpage.
+
+"The KSR-1 hardware primitive get_sub_page provides an exclusive lock
+on a sub-page for the requesting processor.  This exclusive lock is
+relinquished using the release_sub_page instruction.  The hardware does
+not guarantee FCFS to resolve lock contention but does guarantee
+forward progress due to the unidirectionality of the ring."
+
+Under contention every blocked requester's hardware retry burns a ring
+slot per circuit (see
+:meth:`repro.coherence.protocol.CoherenceProtocol._block_on_atomic`),
+which is why acquisition time grows linearly with the number of
+contending processors in Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.machine.api import SharedMemory
+from repro.sim.process import GetSubpage, Op, ReleaseSubpage
+
+__all__ = ["HardwareExclusiveLock"]
+
+
+class HardwareExclusiveLock:
+    """Mutual exclusion via the atomic subpage state.
+
+    Use inside a thread generator::
+
+        yield from lock.acquire()
+        ... critical section ...
+        yield from lock.release()
+    """
+
+    def __init__(self, mem: SharedMemory):
+        self.addr = mem.alloc_word()
+
+    def acquire(self) -> Generator[Op, Any, None]:
+        """Take the subpage atomic (blocks, non-FCFS, with retries)."""
+        yield GetSubpage(self.addr)
+
+    def release(self) -> Generator[Op, Any, None]:
+        """Drop the atomic state; ring-order grant to any waiter."""
+        yield ReleaseSubpage(self.addr)
+
+    # The read/write interface lets the workload driver treat the
+    # hardware lock and the software read-write lock uniformly: the
+    # hardware primitive has no shared mode, so reads serialize too —
+    # the very deficiency the paper's software lock addresses.
+
+    def acquire_read(self, pid: int) -> Generator[Op, Any, None]:
+        """Shared-mode request — degrades to exclusive on hardware."""
+        yield from self.acquire()
+
+    def release_read(self, pid: int) -> Generator[Op, Any, None]:
+        """Release a shared-mode (actually exclusive) hold."""
+        yield from self.release()
+
+    def acquire_write(self, pid: int) -> Generator[Op, Any, None]:
+        """Exclusive-mode request."""
+        yield from self.acquire()
+
+    def release_write(self, pid: int) -> Generator[Op, Any, None]:
+        """Release an exclusive hold."""
+        yield from self.release()

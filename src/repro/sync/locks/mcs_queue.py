@@ -1,0 +1,112 @@
+"""The MCS list-based queue lock (Mellor-Crummey & Scott), on the KSR.
+
+The paper implements MCS *barriers*; this companion implements the MCS
+*lock* so the lock study can be extended beyond the paper: each thread
+spins on its own padded flag (purely local until the predecessor's
+hand-off write), making it the classic contrast to both the hot-spot
+hardware lock and the single-hand-off ticket lock.
+
+The atomic swap at the tail is built from ``get_subpage`` (the KSR has
+no fetch-and-store; the paper's footnote 5 notes any software lock
+"may itself be implemented using any hardware primitive that the
+architecture provides for mutual exclusion").
+
+Layout: ``tail`` word (atomic via its subpage), and per-thread
+``next``/``locked`` words, each on its own subpage.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.errors import ConfigError
+from repro.machine.api import SharedMemory
+from repro.sim.process import (
+    GetSubpage,
+    Op,
+    Poststore,
+    Read,
+    ReleaseSubpage,
+    WaitUntil,
+    Write,
+)
+
+__all__ = ["McsQueueLock"]
+
+_NONE = 0  # tail/next sentinel (thread ids stored +1)
+
+
+class McsQueueLock:
+    """FCFS queue lock with local spinning.
+
+    ``n_threads`` bounds the thread ids that may use the lock (each
+    needs its own queue node).
+    """
+
+    def __init__(self, mem: SharedMemory, n_threads: int, *, use_poststore: bool = True):
+        if n_threads < 1:
+            raise ConfigError("need at least one thread slot")
+        self.n_threads = n_threads
+        self.use_poststore = use_poststore
+        self.tail = mem.alloc_word()
+        self.next = [mem.alloc_word() for _ in range(n_threads)]
+        self.locked = [mem.alloc_word() for _ in range(n_threads)]
+
+    def _check(self, pid: int) -> None:
+        if not 0 <= pid < self.n_threads:
+            raise ConfigError(f"pid {pid} out of range")
+
+    def acquire(self, pid: int) -> Generator[Op, Any, None]:
+        """Enqueue behind the tail; spin locally until handed the lock."""
+        self._check(pid)
+        # reset our node (we are its only writer while unqueued)
+        yield Write(self.next[pid], _NONE)
+        yield Write(self.locked[pid], 0)
+        # atomic fetch-and-store of the tail via the subpage lock
+        yield GetSubpage(self.tail)
+        predecessor = yield Read(self.tail)
+        yield Write(self.tail, pid + 1)
+        yield ReleaseSubpage(self.tail)
+        if predecessor != _NONE:
+            yield Write(self.next[predecessor - 1], pid + 1)
+            if self.use_poststore:
+                yield Poststore(self.next[predecessor - 1])
+            yield WaitUntil(self.locked[pid], lambda v: v == 1)
+
+    def release(self, pid: int) -> Generator[Op, Any, None]:
+        """Hand the lock to the successor (waiting for a late enqueuer
+        that has swapped the tail but not yet linked itself)."""
+        self._check(pid)
+        successor = yield Read(self.next[pid])
+        if successor == _NONE:
+            yield GetSubpage(self.tail)
+            tail = yield Read(self.tail)
+            if tail == pid + 1:
+                # no one behind us: empty the queue
+                yield Write(self.tail, _NONE)
+                yield ReleaseSubpage(self.tail)
+                return
+            yield ReleaseSubpage(self.tail)
+            # someone swapped in but has not linked yet: wait for it
+            successor = yield WaitUntil(self.next[pid], lambda v: v != _NONE)
+        yield Write(self.locked[successor - 1], 1)
+        if self.use_poststore:
+            yield Poststore(self.locked[successor - 1])
+
+    # uniform read/write interface for the workload driver -------------
+
+    def acquire_read(self, pid: int) -> Generator[Op, Any, None]:
+        """No shared mode: reads serialize like writes."""
+        yield from self.acquire(pid)
+
+    def release_read(self, pid: int) -> Generator[Op, Any, None]:
+        """Release a (serialized) read hold."""
+        yield from self.release(pid)
+
+    def acquire_write(self, pid: int) -> Generator[Op, Any, None]:
+        """Exclusive acquisition."""
+        yield from self.acquire(pid)
+
+    def release_write(self, pid: int) -> Generator[Op, Any, None]:
+        """Exclusive release."""
+        yield from self.release(pid)

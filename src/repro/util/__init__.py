@@ -1,0 +1,48 @@
+"""Shared utilities: deterministic RNG streams, unit conversion, stats.
+
+Nothing in this subpackage knows about the KSR; it is generic plumbing
+used by the simulator, the kernels and the experiment harness.
+"""
+
+from repro.util.rng import SeedStream, derive_rng
+from repro.util.units import (
+    KIB,
+    MIB,
+    GIB,
+    cycles_to_seconds,
+    seconds_to_cycles,
+    bytes_per_second,
+    format_bytes,
+    format_seconds,
+)
+from repro.util.stats import (
+    mean,
+    geometric_mean,
+    linear_fit,
+    relative_error,
+    summarize,
+    Summary,
+)
+from repro.util.tables import Table
+from repro.util.charts import ascii_chart
+
+__all__ = [
+    "SeedStream",
+    "derive_rng",
+    "KIB",
+    "MIB",
+    "GIB",
+    "cycles_to_seconds",
+    "seconds_to_cycles",
+    "bytes_per_second",
+    "format_bytes",
+    "format_seconds",
+    "mean",
+    "geometric_mean",
+    "linear_fit",
+    "relative_error",
+    "summarize",
+    "Summary",
+    "Table",
+    "ascii_chart",
+]

@@ -1,0 +1,94 @@
+"""ASCII charts: render experiment series as terminal figures.
+
+The paper's artifacts are half tables, half *figures*; the experiment
+runners collect both (``ExperimentResult.series``).  This module turns
+a series dict into a fixed-size character plot so ``ksr-experiments
+--chart`` can show Figure 4's curves in a terminal the way the paper
+shows them on paper.
+
+Pure text, no dependencies; deliberately simple: linear or log-10 y
+axis, one marker character per series, nearest-cell rasterization.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "*o+x#@%&$~"
+
+
+def _nice_number(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000 or abs(value) < 0.01:
+        return f"{value:.1e}"
+    return f"{value:.3g}"
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    log_y: bool = False,
+) -> str:
+    """Render ``{name: [(x, y), ...]}`` as a character plot.
+
+    Returns a multi-line string: title, plot area with y-axis ticks,
+    x-axis with min/max, and a marker legend.  Raises ``ValueError``
+    for empty input or non-positive values with ``log_y``.
+    """
+    named = {k: list(v) for k, v in series.items() if v}
+    if not named:
+        raise ValueError("nothing to plot")
+    if width < 16 or height < 4:
+        raise ValueError("chart too small to be legible")
+    points = [(x, y) for pts in named.values() for x, y in pts]
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    if log_y and min(ys) <= 0:
+        raise ValueError("log_y requires strictly positive values")
+
+    def ty(y: float) -> float:
+        return math.log10(y) if log_y else y
+
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ty(y) for y in ys), max(ty(y) for y in ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), marker in zip(sorted(named.items()), _MARKERS * 5):
+        for x, y in pts:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((ty(y) - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top_tick = _nice_number(10**y_hi if log_y else y_hi)
+    bottom_tick = _nice_number(10**y_lo if log_y else y_lo)
+    margin = max(len(top_tick), len(bottom_tick), len(y_label)) + 1
+    lines.append(f"{y_label.rjust(margin)}")
+    for i, row in enumerate(grid):
+        if i == 0:
+            tick = top_tick
+        elif i == height - 1:
+            tick = bottom_tick
+        else:
+            tick = ""
+        lines.append(f"{tick.rjust(margin)} |{''.join(row)}")
+    lines.append(f"{' ' * margin} +{'-' * width}")
+    x_axis = f"{_nice_number(x_lo)}{' ' * max(1, width - len(_nice_number(x_lo)) - len(_nice_number(x_hi)))}{_nice_number(x_hi)}"
+    lines.append(f"{' ' * margin}  {x_axis}  ({x_label})")
+    legend = "  ".join(
+        f"{marker}={name}"
+        for (name, _), marker in zip(sorted(named.items()), _MARKERS * 5)
+    )
+    lines.append(f"{' ' * margin}  {legend}")
+    return "\n".join(lines)

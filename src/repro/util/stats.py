@@ -1,0 +1,98 @@
+"""Small statistics helpers used by experiments and tests.
+
+Kept dependency-light on purpose: everything here operates on plain
+sequences or NumPy arrays and returns plain floats, so experiment
+result records stay serialization-friendly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "mean",
+    "geometric_mean",
+    "linear_fit",
+    "relative_error",
+    "summarize",
+    "Summary",
+]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on an empty sequence."""
+    if len(values) == 0:
+        raise ValueError("mean of empty sequence")
+    return float(np.mean(np.asarray(values, dtype=float)))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("geometric mean of empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def linear_fit(x: Sequence[float], y: Sequence[float]) -> tuple[float, float]:
+    """Least-squares line ``y = slope * x + intercept``.
+
+    Returns ``(slope, intercept)``.  Used e.g. to check that the
+    exclusive-lock acquisition time grows linearly with processor
+    count, as the paper reports for Figure 3.
+    """
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.shape != ya.shape or xa.ndim != 1:
+        raise ValueError("x and y must be 1-D sequences of equal length")
+    if xa.size < 2:
+        raise ValueError("need at least two points for a line fit")
+    slope, intercept = np.polyfit(xa, ya, 1)
+    return float(slope), float(intercept)
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """``|measured - reference| / |reference|`` (reference must be nonzero)."""
+    if reference == 0:
+        raise ValueError("reference value must be nonzero")
+    return abs(measured - reference) / abs(reference)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.n} mean={self.mean:.6g} std={self.std:.6g} "
+            f"min={self.minimum:.6g} max={self.maximum:.6g}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics of a non-empty sample."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("summarize of empty sequence")
+    std = float(np.std(arr, ddof=1)) if arr.size > 1 else 0.0
+    if not math.isfinite(std):
+        std = 0.0
+    return Summary(
+        n=int(arr.size),
+        mean=float(np.mean(arr)),
+        std=std,
+        minimum=float(np.min(arr)),
+        maximum=float(np.max(arr)),
+    )

@@ -1,0 +1,70 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment harness prints rows in the same layout as the paper's
+tables (e.g. Table 1: processors / time / speedup / efficiency / serial
+fraction), so `Table` keeps formatting concerns out of the runners.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["Table"]
+
+
+class Table:
+    """Accumulate rows and render a fixed-width text table.
+
+    >>> t = Table(["P", "Time (s)", "Speedup"])
+    >>> t.add_row([1, 1638.86, 1.0])
+    >>> t.add_row([32, 72.01, 22.76])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    P   Time (s)   Speedup
+    --  ---------  -------
+    1   1638.86    1
+    32  72.01      22.76
+    """
+
+    def __init__(self, headers: Sequence[str], title: str | None = None):
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable[Any]) -> None:
+        """Append a row; values are formatted with :func:`_fmt`."""
+        row = [_fmt(v) for v in values]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} values but table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Render the table as aligned plain text."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * len(self.title))
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)).rstrip())
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(value: Any) -> str:
+    """Format a cell: floats get 6 significant digits, rest via str()."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:.6g}"

@@ -1,0 +1,69 @@
+"""Unit helpers: bytes, cycles and seconds.
+
+The simulator's native time unit is the *CPU cycle* of the machine
+being modelled (50 ns on the 20 MHz KSR-1, 25 ns on the KSR-2).  All
+conversion between cycles and wall-clock seconds goes through these
+helpers so no module hard-codes a clock.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "cycles_to_seconds",
+    "seconds_to_cycles",
+    "bytes_per_second",
+    "format_bytes",
+    "format_seconds",
+]
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+def cycles_to_seconds(cycles: float, clock_hz: float) -> float:
+    """Convert a cycle count to seconds at the given clock frequency."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+    return cycles / clock_hz
+
+
+def seconds_to_cycles(seconds: float, clock_hz: float) -> float:
+    """Convert seconds to (fractional) cycles at the given clock."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+    return seconds * clock_hz
+
+
+def bytes_per_second(nbytes: float, seconds: float) -> float:
+    """Throughput of moving ``nbytes`` in ``seconds``."""
+    if seconds <= 0:
+        raise ValueError(f"seconds must be positive, got {seconds}")
+    return nbytes / seconds
+
+
+def format_bytes(nbytes: float) -> str:
+    """Human-readable byte count (``'32.0 MiB'``)."""
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{value:.0f} B"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-readable duration using the most natural SI prefix."""
+    if seconds == 0:
+        return "0 s"
+    magnitude = abs(seconds)
+    if magnitude >= 1.0:
+        return f"{seconds:.3f} s"
+    if magnitude >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    if magnitude >= 1e-6:
+        return f"{seconds * 1e6:.3f} us"
+    return f"{seconds * 1e9:.1f} ns"

@@ -1,0 +1,130 @@
+"""Tests for the directory bookkeeping and its invariants."""
+
+import pytest
+
+from repro.coherence.directory import Directory
+from repro.errors import ProtocolError
+from repro.memory.local_cache import SubpageState
+
+
+class TestFills:
+    def test_shared_fill(self):
+        d = Directory()
+        d.record_fill_shared(1, cell_id=0)
+        d.record_fill_shared(1, cell_id=3)
+        entry = d.entry(1)
+        assert entry.sharers == {0, 3}
+        assert entry.owner is None
+        assert entry.created
+
+    def test_exclusive_fill(self):
+        d = Directory()
+        d.record_fill_exclusive(1, cell_id=2)
+        entry = d.entry(1)
+        assert entry.owner == 2
+        assert entry.sharers == {2}
+
+    def test_exclusive_fill_with_sharers_rejected(self):
+        d = Directory()
+        d.record_fill_shared(1, 0)
+        with pytest.raises(ProtocolError):
+            d.record_fill_exclusive(1, 3)
+
+    def test_shared_fill_while_owned_rejected(self):
+        d = Directory()
+        d.record_fill_exclusive(1, 0)
+        with pytest.raises(ProtocolError):
+            d.record_fill_shared(1, 3)
+
+    def test_owner_rereading_keeps_own_copy(self):
+        d = Directory()
+        d.record_fill_exclusive(1, 0)
+        d.record_fill_shared(1, 0)  # owner's own read demotes itself
+        assert d.entry(1).owner is None
+        assert d.entry(1).sharers == {0}
+
+
+class TestInvalidation:
+    def test_invalidate_others_moves_to_placeholders(self):
+        d = Directory()
+        for c in (0, 1, 2):
+            d.record_fill_shared(1, c)
+        losers = d.invalidate_others(1, keep_cell=1)
+        assert losers == {0, 2}
+        entry = d.entry(1)
+        assert entry.sharers == {1}
+        assert entry.placeholders == {0, 2}
+
+    def test_demote_owner(self):
+        d = Directory()
+        d.record_fill_exclusive(1, 0)
+        d.demote_owner(1)
+        assert d.entry(1).owner is None
+        assert d.entry(1).sharers == {0}
+
+    def test_demote_unowned_rejected(self):
+        d = Directory()
+        d.record_fill_shared(1, 0)
+        with pytest.raises(ProtocolError):
+            d.demote_owner(1)
+
+
+class TestAtomic:
+    def test_atomic_flag(self):
+        d = Directory()
+        d.record_fill_exclusive(1, 0, atomic=True)
+        assert d.entry(1).atomic
+        d.set_atomic(1, 0, False)
+        assert not d.entry(1).atomic
+
+    def test_set_atomic_requires_ownership(self):
+        d = Directory()
+        d.record_fill_exclusive(1, 0)
+        with pytest.raises(ProtocolError):
+            d.set_atomic(1, 5, True)
+
+
+class TestResponderSelection:
+    def test_prefers_same_ring(self):
+        d = Directory()
+        d.record_fill_shared(1, 2)   # same ring
+        d.record_fill_shared(1, 40)  # another ring
+        assert d.responder_for(1, requester=0, same_ring=range(0, 32)) == 2
+
+    def test_falls_back_to_any(self):
+        d = Directory()
+        d.record_fill_shared(1, 40)
+        assert d.responder_for(1, requester=0, same_ring=range(0, 32)) == 40
+
+    def test_requester_not_own_responder(self):
+        d = Directory()
+        d.record_fill_shared(1, 0)
+        assert d.responder_for(1, requester=0, same_ring=range(0, 32)) is None
+
+    def test_uncached_returns_none(self):
+        assert Directory().responder_for(9, 0, range(32)) is None
+
+
+class TestDropAndState:
+    def test_drop_copy_clears_ownership(self):
+        d = Directory()
+        d.record_fill_exclusive(1, 0, atomic=True)
+        d.drop_copy(1, 0)
+        entry = d.entry(1)
+        assert entry.owner is None and not entry.atomic and not entry.sharers
+
+    def test_state_in_views(self):
+        d = Directory()
+        d.record_fill_exclusive(1, 0, atomic=True)
+        assert d.state_in(1, 0) is SubpageState.ATOMIC
+        d.set_atomic(1, 0, False)
+        assert d.state_in(1, 0) is SubpageState.EXCLUSIVE
+        d.invalidate_others(1, keep_cell=5)  # 0 loses its copy
+        assert d.state_in(1, 0) is SubpageState.INVALID
+        assert d.state_in(1, 7) is None
+
+    def test_known(self):
+        d = Directory()
+        assert not d.known(4)
+        d.entry(4)
+        assert d.known(4)

@@ -1,0 +1,161 @@
+"""Protocol fuzzing: random well-formed programs must run to
+completion with a consistent machine afterwards.
+
+Checks after every fuzzed run:
+
+1. no deadlock / livelock (machine.run() returns, all threads finish),
+2. the directory's view of every subpage matches each cell's local
+   cache state exactly,
+3. directory invariants hold (sole exclusive owner, no valid+placeholder
+   overlap) — ``entry.check()`` re-run over everything,
+4. every value a thread wrote to its *private* region reads back
+   correctly through the coherent memory,
+5. lock-protected shared counters show no lost updates.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.api import SharedMemory
+from repro.machine.ksr import KsrMachine
+from repro.sim.process import (
+    Compute,
+    GetSubpage,
+    Poststore,
+    Prefetch,
+    Read,
+    ReleaseSubpage,
+    Write,
+)
+from tests.conftest import quiet_ksr1
+
+N_CELLS = 4
+OWN_WORDS = 6
+SHARED_WORDS = 6
+
+# one action = (kind, operand index); scripts are lists of actions
+ACTIONS = st.sampled_from(
+    [
+        "compute",
+        "read_shared",
+        "write_shared",
+        "read_own",
+        "write_own",
+        "prefetch_shared",
+        "poststore_own",
+        "locked_increment",
+    ]
+)
+script = st.lists(st.tuples(ACTIONS, st.integers(0, 5)), min_size=1, max_size=25)
+
+
+def _run_fuzz(scripts, seed):
+    machine = KsrMachine(quiet_ksr1(N_CELLS, seed=seed))
+    mem = SharedMemory(machine)
+    shared = mem.array("shared", SHARED_WORDS)
+    own = [mem.array(f"own{i}", OWN_WORDS) for i in range(N_CELLS)]
+    lock = mem.alloc_word()
+    counter = mem.alloc_word()
+    expected_own: list[dict[int, int]] = [dict() for _ in range(N_CELLS)]
+    expected_increments = 0
+
+    def body(pid, actions):
+        nonlocal expected_increments
+        stamp = 0
+        for kind, idx in actions:
+            if kind == "compute":
+                yield Compute(10 + idx * 7)
+            elif kind == "read_shared":
+                yield Read(shared.addr(idx % SHARED_WORDS))
+            elif kind == "write_shared":
+                yield Write(shared.addr(idx % SHARED_WORDS), pid * 1000 + idx)
+            elif kind == "read_own":
+                yield Read(own[pid].addr(idx % OWN_WORDS))
+            elif kind == "write_own":
+                stamp += 1
+                value = pid * 100_000 + stamp
+                expected_own[pid][idx % OWN_WORDS] = value
+                yield Write(own[pid].addr(idx % OWN_WORDS), value)
+            elif kind == "prefetch_shared":
+                yield Prefetch(shared.addr(idx % SHARED_WORDS))
+            elif kind == "poststore_own":
+                word = idx % OWN_WORDS
+                if word in expected_own[pid]:
+                    yield Poststore(own[pid].addr(word))
+            elif kind == "locked_increment":
+                expected_increments += 1
+                yield GetSubpage(lock)
+                v = yield Read(counter)
+                yield Write(counter, v + 1)
+                yield ReleaseSubpage(lock)
+
+    for pid, actions in enumerate(scripts):
+        machine.spawn(f"fuzz-{pid}", body(pid, actions), pid)
+    machine.run()  # check 1: terminates, no deadlock
+    return machine, mem, own, counter, expected_own, expected_increments
+
+
+def _check_consistency(machine):
+    protocol = machine.protocol
+    for sp, entry in protocol.directory._entries.items():
+        entry.check()  # check 3
+        for cell in machine.cells:
+            dir_view = protocol.directory.state_in(sp, cell.cell_id)
+            cache_view = cell.local_cache.state_of(sp)
+            assert dir_view == cache_view, (
+                f"subpage {sp}: directory says {dir_view} but cell "
+                f"{cell.cell_id} cache says {cache_view}"
+            )
+
+
+class TestFuzzedPrograms:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        scripts=st.lists(script, min_size=N_CELLS, max_size=N_CELLS),
+        seed=st.integers(0, 9999),
+    )
+    def test_random_programs_stay_consistent(self, scripts, seed):
+        machine, mem, own, counter, expected_own, expected_incs = _run_fuzz(
+            scripts, seed
+        )
+        _check_consistency(machine)  # checks 2 + 3
+        # check 4: private writes read back
+        for pid in range(N_CELLS):
+            for word, value in expected_own[pid].items():
+                assert mem.peek(own[pid].addr(word)) == value
+        # check 5: no lost updates under the subpage lock
+        assert mem.peek(counter) == expected_incs
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 9999))
+    def test_all_threads_hammer_one_lock(self, seed):
+        scripts = [[("locked_increment", k) for k in range(12)]] * N_CELLS
+        machine, mem, own, counter, _, expected = _run_fuzz(scripts, seed)
+        assert mem.peek(counter) == expected == 48
+        _check_consistency(machine)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 9999))
+    def test_write_storm_on_shared_words(self, seed):
+        scripts = [
+            [("write_shared", k % SHARED_WORDS) for k in range(15)]
+            for _ in range(N_CELLS)
+        ]
+        machine, mem, own, counter, _, _ = _run_fuzz(scripts, seed)
+        _check_consistency(machine)
+
+
+class TestPostRunInvariants:
+    def test_no_dangling_atomic_state(self):
+        """After balanced gsp/rsp programs, nothing stays atomic."""
+        scripts = [[("locked_increment", 0)] * 5 for _ in range(N_CELLS)]
+        machine, *_ = _run_fuzz(scripts, seed=3)
+        for entry in machine.protocol.directory._entries.values():
+            assert not entry.atomic
+
+    def test_no_leftover_watchers_or_waiters(self):
+        scripts = [[("locked_increment", 0)] * 5 for _ in range(N_CELLS)]
+        machine, *_ = _run_fuzz(scripts, seed=4)
+        assert machine.protocol.blocked_description() == []

@@ -1,0 +1,61 @@
+"""Sequential-consistency litmus tests, including fuzzing over
+interleavings (thread start skews) and seeds."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coherence.litmus import ALL_LITMUS, run_iriw, run_lb, run_mp, run_sb
+from repro.errors import ConfigError
+
+skew = st.floats(min_value=0.0, max_value=600.0)
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+class TestBaseline:
+    @pytest.mark.parametrize("name", sorted(ALL_LITMUS))
+    def test_default_skews_allowed(self, name):
+        outcome = ALL_LITMUS[name]()
+        assert not outcome.forbidden, outcome
+
+    def test_mp_sees_data_with_flag(self):
+        # producer clearly first: observer must see both
+        outcome = run_mp(skews=(0, 5000))
+        assert outcome.observed == (1, 42)
+
+    def test_sb_with_one_side_late(self):
+        outcome = run_sb(skews=(0, 5000))
+        # the late thread must observe the early store
+        assert outcome.observed[1] == 1
+        assert not outcome.forbidden
+
+
+class TestFuzzedInterleavings:
+    @settings(max_examples=25, deadline=None)
+    @given(s0=skew, s1=skew, seed=seeds)
+    def test_sb_never_forbidden(self, s0, s1, seed):
+        assert not run_sb(skews=(s0, s1), seed=seed).forbidden
+
+    @settings(max_examples=25, deadline=None)
+    @given(s0=skew, s1=skew, seed=seeds)
+    def test_mp_never_forbidden(self, s0, s1, seed):
+        assert not run_mp(skews=(s0, s1), seed=seed).forbidden
+
+    @settings(max_examples=25, deadline=None)
+    @given(s0=skew, s1=skew, seed=seeds)
+    def test_lb_never_forbidden(self, s0, s1, seed):
+        assert not run_lb(skews=(s0, s1), seed=seed).forbidden
+
+    @settings(max_examples=15, deadline=None)
+    @given(s0=skew, s1=skew, s2=skew, s3=skew, seed=seeds)
+    def test_iriw_never_forbidden(self, s0, s1, s2, s3, seed):
+        assert not run_iriw(skews=(s0, s1, s2, s3), seed=seed).forbidden
+
+
+class TestValidation:
+    def test_skew_arity(self):
+        with pytest.raises(ConfigError):
+            run_sb(skews=(1,))
+
+    def test_negative_skew(self):
+        with pytest.raises(ConfigError):
+            run_mp(skews=(-1, 0))

@@ -1,0 +1,32 @@
+"""Tests for the coherence state transition relation."""
+
+from repro.coherence.states import LEGAL_TRANSITIONS, SubpageState, legal_transition
+
+
+class TestTransitions:
+    def test_self_transitions_legal(self):
+        for s in SubpageState:
+            assert legal_transition(s, s)
+
+    def test_fill_from_absent(self):
+        assert legal_transition(None, SubpageState.SHARED)
+        assert legal_transition(None, SubpageState.EXCLUSIVE)
+
+    def test_invalidation_paths(self):
+        assert legal_transition(SubpageState.SHARED, SubpageState.INVALID)
+        assert legal_transition(SubpageState.EXCLUSIVE, SubpageState.INVALID)
+
+    def test_atomic_cycle(self):
+        assert legal_transition(SubpageState.EXCLUSIVE, SubpageState.ATOMIC)
+        assert legal_transition(SubpageState.ATOMIC, SubpageState.EXCLUSIVE)
+
+    def test_atomic_cannot_come_from_shared(self):
+        """get_subpage must first obtain exclusivity."""
+        assert not legal_transition(SubpageState.SHARED, SubpageState.ATOMIC)
+
+    def test_invalid_cannot_jump_to_atomic(self):
+        assert not legal_transition(SubpageState.INVALID, SubpageState.ATOMIC)
+
+    def test_table_pairs_are_state_pairs(self):
+        for old, new in LEGAL_TRANSITIONS:
+            assert isinstance(old, SubpageState) and isinstance(new, SubpageState)

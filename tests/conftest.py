@@ -1,0 +1,51 @@
+"""Shared fixtures: small machine configurations used across the suite.
+
+Timer interrupts are disabled in the default fixtures so latency
+assertions are exact; lock tests re-enable them explicitly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.config import MachineConfig, TimerConfig
+
+
+def quiet_ksr1(n_cells: int = 4, *, seed: int = 7) -> MachineConfig:
+    """A KSR-1 with timer interrupts off (deterministic latencies)."""
+    return MachineConfig.ksr1(
+        n_cells=n_cells, seed=seed, timer=TimerConfig(enabled=False)
+    )
+
+
+def quiet_ksr2(n_cells: int = 64, *, seed: int = 7) -> MachineConfig:
+    """A KSR-2 with timer interrupts off."""
+    return MachineConfig.ksr2(
+        n_cells=n_cells, seed=seed, timer=TimerConfig(enabled=False)
+    )
+
+
+@pytest.fixture
+def ksr1_config() -> MachineConfig:
+    """Quiet 4-cell KSR-1."""
+    return quiet_ksr1()
+
+
+@pytest.fixture
+def ksr1_32_config() -> MachineConfig:
+    """Quiet fully populated 32-cell KSR-1 ring."""
+    return quiet_ksr1(32)
+
+
+@pytest.fixture
+def ksr2_config() -> MachineConfig:
+    """Quiet two-ring 64-cell KSR-2."""
+    return quiet_ksr2()
+
+
+@pytest.fixture
+def machine(ksr1_config):
+    """A fresh quiet 4-cell machine."""
+    from repro.machine.ksr import KsrMachine
+
+    return KsrMachine(ksr1_config)

@@ -1,0 +1,43 @@
+"""Tests for the CSC-vs-CSR data-structure study."""
+
+import pytest
+
+from repro.experiments.cg_formats import run_format_comparison
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_format_comparison(proc_counts=[1, 4, 16, 32])
+
+
+class TestFormatComparison:
+    def test_sequential_formats_comparable(self, result):
+        """With one processor there is no synchronization: the two
+        layouts are within a few tens of percent of each other."""
+        row1 = result.rows[0]
+        assert row1[0] == 1
+        assert row1[3] < 1.5
+
+    def test_parallel_csc_pays_heavily(self, result):
+        """'Multiple processors writing into the same element of y
+        necessitating synchronization for every access' — the paper's
+        motivation, quantified."""
+        penalties = dict(zip(result.column("P"), result.column("CSC penalty")))
+        assert penalties[4] > 3.0
+        assert penalties[32] > 8.0
+
+    def test_csr_keeps_scaling(self, result):
+        csr = dict(result.series["csr"])
+        assert csr[32] < csr[4] < csr[1]
+
+    def test_csc_does_not_scale(self, result):
+        """The synchronized scatter destroys parallel efficiency."""
+        csc = dict(result.series["csc"])
+        speedup32 = csc[1] / csc[32]
+        assert speedup32 < 8.0  # nowhere near 32
+
+    def test_cli_integration(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["cg-formats"]) == 0
+        assert "CG-FMT" in capsys.readouterr().out

@@ -1,0 +1,27 @@
+"""Tests for the combined Figure 8 runner."""
+
+from repro.experiments.figure8 import run_figure8
+
+
+class TestFigure8:
+    def test_two_series_over_same_p(self):
+        r = run_figure8(proc_counts=[1, 4, 16])
+        assert set(r.series) == {"CG", "IS"}
+        assert [x for x, _ in r.series["CG"]] == [1, 4, 16]
+        assert [x for x, _ in r.series["IS"]] == [1, 4, 16]
+
+    def test_baselines_are_one(self):
+        r = run_figure8(proc_counts=[1, 8])
+        assert r.rows[0][1] == 1.0 and r.rows[0][2] == 1.0
+
+    def test_cg_ends_above_is(self):
+        """The paper's Figure 8: the CG curve tops the IS curve at the
+        full ring."""
+        r = run_figure8(proc_counts=[1, 16, 32])
+        assert r.rows[-1][1] > r.rows[-1][2]
+
+    def test_cli_integration(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["fig8"]) == 0
+        assert "FIG8" in capsys.readouterr().out

@@ -1,0 +1,61 @@
+"""Tests for the section-4 future-features study."""
+
+import pytest
+
+from repro.experiments.future_features import evaluate_cg_matvec, run_future_features
+from repro.kernels.cg import CgKernel
+from repro.machine.config import MachineConfig
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    return CgKernel(MachineConfig.ksr1(32), n=1400, nnz_target=203_000)
+
+
+class TestVariants:
+    def test_prefetch_cuts_stream_fills(self, kernel):
+        stock = evaluate_cg_matvec(kernel)
+        pf = evaluate_cg_matvec(kernel, subcache_prefetch=True)
+        assert pf.stream_cycles < 0.6 * stock.stream_cycles
+        assert pf.gather_cycles == stock.gather_cycles  # data-dependent
+
+    def test_selective_subcaching_cheapens_gather(self, kernel):
+        stock = evaluate_cg_matvec(kernel)
+        sel = evaluate_cg_matvec(kernel, selective_subcaching=True)
+        assert sel.gather_cycles < stock.gather_cycles
+        # ...at the price of uncached streams
+        assert sel.stream_cycles > stock.stream_cycles
+
+    def test_combination_is_best(self, kernel):
+        both = evaluate_cg_matvec(
+            kernel, subcache_prefetch=True, selective_subcaching=True
+        )
+        others = [
+            evaluate_cg_matvec(kernel),
+            evaluate_cg_matvec(kernel, subcache_prefetch=True),
+            evaluate_cg_matvec(kernel, selective_subcaching=True),
+        ]
+        assert all(both.total_cycles < o.total_cycles for o in others)
+
+    def test_mflops_consistent_with_cycles(self, kernel):
+        c = evaluate_cg_matvec(kernel)
+        expected = 2.0 * kernel.matrix.nnz / kernel.config.seconds(c.total_cycles) / 1e6
+        assert c.mflops == pytest.approx(expected)
+
+
+class TestRunner:
+    def test_four_rows_and_notes(self):
+        r = run_future_features()
+        assert [row[0] for row in r.rows] == [
+            "stock",
+            "sub-cache prefetch",
+            "selective sub-caching",
+            "both",
+        ]
+        assert any("only pay off together" in n for n in r.notes)
+
+    def test_cli_integration(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["future"]) == 0
+        assert "FUTURE" in capsys.readouterr().out

@@ -1,0 +1,123 @@
+"""Paper-size shape assertions: the headline numbers of each table.
+
+These run the kernels at the paper's problem sizes (the slowest tests
+in the suite, ~30 s total) and pin the reproduced *shape* against the
+published anchors: who wins, by what factor, where the crossovers are.
+"""
+
+import pytest
+
+from repro.experiments.base import PAPER_ANCHORS
+from repro.kernels.cg import CgKernel
+from repro.kernels.is_sort import IsKernel
+from repro.kernels.sp import SpApplication
+from repro.machine.config import MachineConfig
+from repro.metrics.speedup import ScalingTable
+
+
+@pytest.fixture(scope="module")
+def config():
+    return MachineConfig.ksr1(32)
+
+
+@pytest.fixture(scope="module")
+def cg_table(config):
+    kernel = CgKernel.paper_size(config)
+    return ScalingTable.from_pairs(
+        [(p, kernel.run(p).time_s) for p in (1, 2, 4, 8, 16, 32)]
+    )
+
+
+@pytest.fixture(scope="module")
+def is_table(config):
+    kernel = IsKernel.paper_size(config)
+    return ScalingTable.from_pairs(
+        [(p, kernel.run(p).time_s) for p in (1, 2, 4, 8, 16, 30, 32)]
+    )
+
+
+class TestCgPaperSize:
+    def test_speedup_at_32_in_band(self, cg_table):
+        """Paper: 22.76; we accept 22.76 +/- 30%."""
+        published = PAPER_ANCHORS["cg_speedups"][32]
+        measured = cg_table.points()[-1].speedup
+        assert measured == pytest.approx(published, rel=0.30)
+
+    def test_superunitary_regime_exists(self, cg_table):
+        """Cache relief must produce at least one superunitary step
+        (paper: between 4 and 16 processors; our word-size model shifts
+        it earlier — see EXPERIMENTS.md)."""
+        assert cg_table.superunitary_steps()
+
+    def test_serial_fraction_rises_at_scale(self, cg_table):
+        pts = {p.processors: p.serial_fraction for p in cg_table.points()}
+        assert pts[32] > pts[8]
+
+    def test_efficiency_declines_16_to_32(self, cg_table):
+        pts = {p.processors: p.efficiency for p in cg_table.points()}
+        assert pts[32] < pts[16]
+
+
+class TestIsPaperSize:
+    def test_speedup_at_32_in_band(self, is_table):
+        """Paper: 18.92; same ballpark (+/- 35%)."""
+        published = PAPER_ANCHORS["is_speedups"][32]
+        measured = is_table.points()[-1].speedup
+        assert measured == pytest.approx(published, rel=0.35)
+
+    def test_serial_fraction_rises(self, is_table):
+        fr = [
+            p.serial_fraction
+            for p in is_table.points()
+            if p.serial_fraction is not None and p.processors >= 8
+        ]
+        assert fr == sorted(fr)
+
+    def test_30_to_32_step_marginal(self, is_table):
+        """Paper: adding the last two processors gains nothing."""
+        times = {p.processors: p.time_s for p in is_table.points()}
+        assert times[32] > 0.97 * times[30]
+
+    def test_efficiency_profile(self, is_table):
+        pts = {p.processors: p.efficiency for p in is_table.points()}
+        assert pts[8] > pts[16] > pts[32]
+        assert pts[32] < 0.75  # paper: 0.591
+
+
+class TestSpPaperSize:
+    @pytest.fixture(scope="class")
+    def sp(self, config):
+        return SpApplication.paper_size(config)
+
+    def test_speedup_at_31_in_band(self, sp):
+        """Paper: 27.8 at 31 processors; accept +/- 20%."""
+        runs = sp.scaling([1, 31])
+        speedup = runs[0].time_per_iteration_s / runs[1].time_per_iteration_s
+        assert speedup == pytest.approx(PAPER_ANCHORS["sp_speedups"][31], rel=0.20)
+
+    def test_optimization_ladder_ratios(self, sp):
+        """Paper: 2.54 -> 2.14 (-15.7%) -> 1.89 (-11.7%)."""
+        base, padded, prefetched = (
+            r.time_per_iteration_s for r in sp.optimization_ladder(30)
+        )
+        assert 1 - padded / base == pytest.approx(0.157, abs=0.06)
+        assert 1 - prefetched / padded == pytest.approx(0.117, abs=0.06)
+
+    def test_poststore_hurts(self, sp):
+        assert (
+            sp.run(30, poststore=True).time_per_iteration_s
+            > sp.run(30).time_per_iteration_s
+        )
+
+
+class TestCgPoststorePaperSize:
+    def test_gain_peaks_then_collapses(self, config):
+        """Paper: ~3% at 16, mitigated near saturation at 32."""
+        kernel = CgKernel.paper_size(config)
+        gains = {}
+        for p in (16, 32):
+            plain = kernel.run(p).time_s
+            ps = kernel.run(p, use_poststore=True).time_s
+            gains[p] = (plain - ps) / plain
+        assert gains[16] > 0.02
+        assert gains[32] < gains[16] * 0.5

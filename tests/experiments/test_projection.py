@@ -1,0 +1,60 @@
+"""Tests for the beyond-the-paper projection experiments."""
+
+import pytest
+
+from repro.experiments.projection import run_barrier_projection, run_cg_projection
+
+
+class TestBarrierProjection:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_barrier_projection(proc_counts=[32, 64, 128], reps=5)
+
+    def test_ring_counts(self, result):
+        rings = dict(zip(result.column("P"), result.column("leaf rings")))
+        assert rings == {32: 1, 64: 2, 128: 4}
+
+    def test_counter_diverges_from_tournament(self, result):
+        ratios = result.column("ratio")
+        assert ratios == sorted(ratios)  # the gap widens with P
+        assert ratios[-1] > 2 * ratios[0]
+
+    def test_tournament_m_subloglinear(self, result):
+        tm = dict(result.series["tournament(M)"])
+        # quadrupling P far less than doubles the winner's time
+        assert tm[128] / tm[32] < 2.5
+
+
+class TestCgProjection:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_cg_projection(proc_counts=[1, 32, 128, 512])
+
+    def test_speedup_peaks_then_declines(self, result):
+        speedups = dict(result.series["speedup"])
+        assert speedups[128] > speedups[32]
+        assert speedups[512] < speedups[128]
+
+    def test_serial_share_dominates_midrange(self, result):
+        shares = dict(zip(result.column("P"), result.column("serial share")))
+        assert shares[128] > shares[1]
+
+    def test_projection_disclaimer_present(self, result):
+        assert any("projection only" in n for n in result.notes)
+
+
+class TestCliIntegration:
+    def test_cli_runs_projection(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["proj-barriers", "--quick"]) == 0
+        assert "PROJ-BAR" in capsys.readouterr().out
+
+    def test_cli_output_file(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        out = tmp_path / "report.md"
+        assert main(["other-archs", "--output", str(out)]) == 0
+        text = out.read_text()
+        assert text.startswith("# ksr-experiments report")
+        assert "S3.2.3" in text

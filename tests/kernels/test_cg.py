@@ -1,0 +1,91 @@
+"""Tests for the CG kernel: real numerics plus the Table 1 shape."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernels.cg import CgKernel
+from repro.machine.config import MachineConfig
+from repro.metrics.speedup import ScalingTable
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    return CgKernel(MachineConfig.ksr1(32), n=600, nnz_target=30_000, iterations=25)
+
+
+@pytest.fixture(scope="module")
+def scaling(kernel):
+    return {p: kernel.run(p) for p in (1, 2, 4, 8, 16, 32)}
+
+
+class TestNumerics:
+    def test_cg_converges_to_known_solution(self, kernel):
+        z, residual, iterations = kernel.solve(tol=1e-9)
+        assert residual < 1e-9
+        assert iterations < kernel.n
+        assert np.allclose(z, np.ones(kernel.n), atol=1e-6)
+
+    def test_iteration_cap_respected(self, kernel):
+        _, residual, iterations = kernel.solve(max_iter=3, tol=0.0)
+        assert iterations == 3
+        assert residual > 0
+
+
+class TestScalingShape:
+    def test_monotone_improvement(self, scaling):
+        times = [scaling[p].time_s for p in (1, 2, 4, 8, 16, 32)]
+        assert times == sorted(times, reverse=True)
+
+    def test_speedup_at_32_meaningful(self, scaling):
+        """At this reduced test size the serial section bites earlier
+        than in Table 1; the paper-size band (~22x) is asserted in
+        tests/experiments/test_paper_shapes.py."""
+        speedup = scaling[1].time_s / scaling[32].time_s
+        assert 4 < speedup < 30
+
+    def test_serial_time_grows_with_p(self, scaling):
+        """The paper's explanation of the 16->32 drop: the serial
+        section's remote references grow with P."""
+        assert scaling[32].serial_s > scaling[4].serial_s
+
+    def test_parallel_time_shrinks_with_p(self, scaling):
+        assert scaling[32].parallel_s < scaling[4].parallel_s / 4
+
+    def test_efficiency_declines_at_scale(self, scaling):
+        t1 = scaling[1].time_s
+        eff16 = t1 / scaling[16].time_s / 16
+        eff32 = t1 / scaling[32].time_s / 32
+        assert eff32 < eff16
+
+    def test_poststore_helps_midrange(self, kernel):
+        plain = kernel.run(8).time_s
+        ps = kernel.run(8, use_poststore=True).time_s
+        assert ps < plain
+
+    def test_scaling_table_integration(self, kernel, scaling):
+        table = ScalingTable.from_pairs(
+            [(p, scaling[p].time_s) for p in (1, 2, 4, 8, 16, 32)]
+        )
+        fractions = [
+            pt.serial_fraction for pt in table.points() if pt.serial_fraction is not None
+        ]
+        # serial fraction eventually rises (algorithmic bottleneck)
+        assert fractions[-1] > fractions[-3]
+
+
+class TestValidation:
+    def test_processor_bounds(self, kernel):
+        with pytest.raises(ConfigError):
+            kernel.run(0)
+        with pytest.raises(ConfigError):
+            kernel.run(33)
+
+    def test_needs_iterations(self):
+        with pytest.raises(ConfigError):
+            CgKernel(MachineConfig.ksr1(2), iterations=0)
+
+    def test_paper_size_dimensions(self):
+        kernel = CgKernel.paper_size(MachineConfig.ksr1(32), iterations=1)
+        assert kernel.n == 14000
+        assert kernel.matrix.nnz == pytest.approx(2_030_000, rel=0.02)

@@ -1,0 +1,80 @@
+"""Tests for the EP kernel: numerics and the paper's claims."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernels.ep import EpKernel
+from repro.machine.config import MachineConfig
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    return EpKernel(MachineConfig.ksr1(32), n_pairs=1 << 16)
+
+
+class TestNumerics:
+    def test_verify_passes(self, kernel):
+        kernel.run(1).verify()
+
+    def test_results_independent_of_processor_count(self, kernel):
+        """Partitioning the pair index space must not change tallies —
+        this is what the NAS leapfrog generator guarantees."""
+        r1 = kernel.run(1)
+        r8 = kernel.run(8)
+        assert np.array_equal(r1.counts, r8.counts)
+        assert r1.sum_x == pytest.approx(r8.sum_x, rel=1e-12)
+        assert r1.n_accepted == r8.n_accepted
+
+    def test_acceptance_near_pi_over_4(self, kernel):
+        r = kernel.run(1)
+        assert r.n_accepted / r.n_pairs == pytest.approx(np.pi / 4, abs=0.01)
+
+    def test_annulus_counts_decrease(self, kernel):
+        """Gaussian tail: outer annuli hold ever fewer deviates."""
+        counts = kernel.run(1).counts
+        assert counts[0] > counts[1] > counts[2]
+        assert counts[-1] <= counts[3]
+
+    def test_bad_verify_detected(self, kernel):
+        r = kernel.run(1)
+        broken = type(r)(
+            n_pairs=r.n_pairs,
+            n_procs=1,
+            counts=r.counts + 5,
+            sum_x=r.sum_x,
+            sum_y=r.sum_y,
+            n_accepted=r.n_accepted,
+            time_s=r.time_s,
+            mflops_per_cell=r.mflops_per_cell,
+        )
+        with pytest.raises(AssertionError):
+            broken.verify()
+
+
+class TestScalability:
+    def test_linear_speedup(self, kernel):
+        """The paper: 'Our implementation showed linear speedup'."""
+        t1 = kernel.run(1).time_s
+        for p in (2, 8, 32):
+            speedup = t1 / kernel.run(p).time_s
+            assert speedup == pytest.approx(p, rel=0.05)
+
+    def test_sustained_mflops_near_11(self, kernel):
+        """The paper: ~11 MFLOPS per cell of the 40 MFLOPS peak."""
+        assert kernel.run(1).mflops_per_cell == pytest.approx(11.0, rel=0.1)
+
+    def test_ksr2_is_twice_as_fast(self):
+        k1 = EpKernel(MachineConfig.ksr1(8), n_pairs=1 << 14)
+        k2 = EpKernel(MachineConfig.ksr2(8), n_pairs=1 << 14)
+        assert k1.run(4).time_s == pytest.approx(2 * k2.run(4).time_s, rel=0.05)
+
+    def test_processor_bounds(self, kernel):
+        with pytest.raises(ConfigError):
+            kernel.run(0)
+        with pytest.raises(ConfigError):
+            kernel.run(64)
+
+    def test_needs_pairs(self):
+        with pytest.raises(ConfigError):
+            EpKernel(MachineConfig.ksr1(2), n_pairs=0)

@@ -1,0 +1,82 @@
+"""Tests for the NAS LCG pseudorandom generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.kernels.nas_rng import DEFAULT_A, DEFAULT_SEED, MODULUS, NasRandom
+
+
+def naive_block(rng: NasRandom, start: int, count: int) -> np.ndarray:
+    """Reference scalar implementation."""
+    x = rng.state_at(start + 1)
+    out = np.empty(count)
+    for i in range(count):
+        out[i] = x
+        x = (x * rng.a) % MODULUS
+    return out / MODULUS
+
+
+class TestCorrectness:
+    def test_constants(self):
+        assert MODULUS == 1 << 46
+        assert DEFAULT_A == 5**13
+        assert DEFAULT_SEED == 271828183
+
+    def test_vectorized_matches_scalar_exactly(self):
+        r = NasRandom()
+        assert np.array_equal(r.block(0, 3000), naive_block(r, 0, 3000))
+
+    def test_vectorized_across_chunk_boundary(self):
+        r = NasRandom()
+        n = r._CHUNK + 100
+        assert np.array_equal(r.block(5, n), naive_block(r, 5, n))
+
+    @given(st.integers(min_value=0, max_value=10**6), st.integers(min_value=1, max_value=200))
+    @settings(max_examples=20, deadline=None)
+    def test_leapfrog_consistency(self, start, count):
+        """block(start+k, m) is a suffix of block(start, k+m)."""
+        r = NasRandom()
+        full = r.block(start, count + 7)
+        assert np.array_equal(r.block(start + 7, count), full[7:])
+
+    def test_skip_multiplier(self):
+        r = NasRandom()
+        assert r.skip_multiplier(0) == 1
+        assert r.skip_multiplier(1) == r.a
+        assert r.skip_multiplier(5) == pow(r.a, 5, MODULUS)
+        with pytest.raises(ConfigError):
+            r.skip_multiplier(-1)
+
+    def test_values_in_unit_interval(self):
+        u = NasRandom().block(0, 10000)
+        assert np.all(u > 0) and np.all(u < 1)
+
+    def test_mean_near_half(self):
+        u = NasRandom().block(0, 200_000)
+        assert abs(u.mean() - 0.5) < 0.005
+
+    def test_pairs_interleave(self):
+        r = NasRandom()
+        x, y = r.pairs(3, 5)
+        flat = r.block(6, 10)
+        assert np.array_equal(x, flat[0::2])
+        assert np.array_equal(y, flat[1::2])
+
+
+class TestValidation:
+    def test_even_seed_rejected(self):
+        with pytest.raises(ConfigError):
+            NasRandom(seed=2)
+
+    def test_even_multiplier_rejected(self):
+        with pytest.raises(ConfigError):
+            NasRandom(a=10)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigError):
+            NasRandom().block(0, -1)
+
+    def test_empty_block(self):
+        assert NasRandom().block(0, 0).size == 0

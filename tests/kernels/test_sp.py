@@ -1,0 +1,102 @@
+"""Tests for the SP application: solver numerics and Tables 3/4 shapes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernels.sp import SpApplication
+from repro.machine.config import MachineConfig
+
+
+@pytest.fixture(scope="module")
+def sp():
+    return SpApplication(MachineConfig.ksr1(32), grid=16)
+
+
+class TestNumerics:
+    def test_iterations_converge(self, sp):
+        app = SpApplication(MachineConfig.ksr1(2), grid=16, seed=1)
+        d1 = app.iterate(1)
+        d5 = app.iterate(4)
+        assert d5 < d1  # approaching steady state
+
+    def test_penta_solver_matches_dense(self):
+        """The banded elimination must solve (I + d L4) x = rhs."""
+        app = SpApplication(MachineConfig.ksr1(2), grid=16, diffusion=0.03)
+        n = 16
+        stencil = np.array([1.0, -4.0, 6.0, -4.0, 1.0]) * 0.03
+        A = np.eye(n)
+        for k, off in enumerate(range(-2, 3)):
+            for i in range(n):
+                j = i + off
+                if 0 <= j < n:
+                    A[i, j] += stencil[k]
+        rng = np.random.default_rng(0)
+        rhs = rng.normal(size=(3, n))  # three independent lines
+        x = app._penta_solve_lines(rhs)
+        for row in range(3):
+            assert np.allclose(A @ x[row], rhs[row], atol=1e-10)
+
+    def test_solver_handles_higher_dims(self):
+        app = SpApplication(MachineConfig.ksr1(2), grid=8, diffusion=0.02)
+        rhs = np.random.default_rng(1).normal(size=(4, 5, 8))
+        x = app._penta_solve_lines(rhs)
+        assert x.shape == rhs.shape
+        assert np.all(np.isfinite(x))
+
+
+class TestScalingShape:
+    def test_monotone_scaling(self, sp):
+        times = [r.time_per_iteration_s for r in sp.scaling([1, 2, 4, 8, 16, 31])]
+        assert times == sorted(times, reverse=True)
+
+    def test_speedup_band_at_31(self, sp):
+        runs = sp.scaling([1, 31])
+        speedup = runs[0].time_per_iteration_s / runs[1].time_per_iteration_s
+        assert 15 < speedup < 31  # paper: 27.8
+
+
+class TestOptimizationLadder:
+    def test_each_step_improves(self, sp):
+        base, padded, prefetched = sp.optimization_ladder(30)
+        assert base.time_per_iteration_s > padded.time_per_iteration_s
+        assert padded.time_per_iteration_s > prefetched.time_per_iteration_s
+
+    def test_step_magnitudes_near_paper(self):
+        """Paper: padding ~15.7%, prefetch ~11.7% (at 64^3)."""
+        sp = SpApplication.paper_size(MachineConfig.ksr1(32))
+        base, padded, prefetched = (
+            r.time_per_iteration_s for r in sp.optimization_ladder(30)
+        )
+        pad_gain = 1 - padded / base
+        pf_gain = 1 - prefetched / padded
+        assert 0.08 < pad_gain < 0.25
+        assert 0.06 < pf_gain < 0.25
+
+    def test_flags_recorded(self, sp):
+        base, padded, prefetched = sp.optimization_ladder(8)
+        assert not base.padded and not base.prefetch
+        assert padded.padded and not padded.prefetch
+        assert prefetched.padded and prefetched.prefetch
+
+
+class TestPoststore:
+    def test_poststore_slows_sp_down(self, sp):
+        """The paper: 'its use caused slowdown rather than
+        improvements'."""
+        plain = sp.run(16)
+        with_ps = sp.run(16, poststore=True)
+        assert with_ps.time_per_iteration_s > plain.time_per_iteration_s
+
+
+class TestValidation:
+    def test_grid_minimum(self):
+        with pytest.raises(ConfigError):
+            SpApplication(MachineConfig.ksr1(2), grid=4)
+
+    def test_processor_bounds(self, sp):
+        with pytest.raises(ConfigError):
+            sp.run(0)
+
+    def test_paper_size(self):
+        assert SpApplication.paper_size(MachineConfig.ksr1(32)).grid == 64

@@ -1,0 +1,123 @@
+"""Tests for the sparse matrix formats and generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.kernels.sparse import SparseCSC, SparseCSR, random_sparse_spd
+
+
+@pytest.fixture(scope="module")
+def small_spd():
+    return random_sparse_spd(200, 3000, seed=4)
+
+
+class TestGenerator:
+    def test_shape_and_density(self, small_spd):
+        assert small_spd.n == 200
+        assert 200 <= small_spd.nnz <= 3600
+
+    def test_symmetric(self, small_spd):
+        dense = np.zeros((200, 200))
+        for i in range(200):
+            lo, hi = small_spd.row_start[i], small_spd.row_start[i + 1]
+            dense[i, small_spd.col_index[lo:hi]] = small_spd.values[lo:hi]
+        assert np.allclose(dense, dense.T)
+
+    def test_positive_definite_by_dominance(self, small_spd):
+        """Strict diagonal dominance with positive diagonal => SPD."""
+        for i in range(200):
+            lo, hi = small_spd.row_start[i], small_spd.row_start[i + 1]
+            cols = small_spd.col_index[lo:hi]
+            vals = small_spd.values[lo:hi]
+            diag = vals[cols == i]
+            assert diag.size == 1 and diag[0] > 0
+            off = np.abs(vals[cols != i]).sum()
+            assert diag[0] > off
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            random_sparse_spd(1, 10)
+        with pytest.raises(ConfigError):
+            random_sparse_spd(10, 5)
+        with pytest.raises(ConfigError):
+            random_sparse_spd(10, 100, format="coo")
+
+    def test_csc_format_option(self):
+        m = random_sparse_spd(50, 400, seed=1, format="csc")
+        assert isinstance(m, SparseCSC)
+
+
+class TestMatvec:
+    def test_csr_matches_dense(self, small_spd):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=200)
+        dense = np.zeros((200, 200))
+        for i in range(200):
+            lo, hi = small_spd.row_start[i], small_spd.row_start[i + 1]
+            dense[i, small_spd.col_index[lo:hi]] = small_spd.values[lo:hi]
+        assert np.allclose(small_spd.matvec(x), dense @ x)
+
+    def test_csc_and_csr_agree(self, small_spd):
+        """The paper's format transformation must not change results."""
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=200)
+        csc = small_spd.to_csc()
+        assert np.allclose(csc.matvec(x), small_spd.matvec(x))
+
+    def test_roundtrip_csr_csc_csr(self, small_spd):
+        back = small_spd.to_csc().to_csr()
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=200)
+        assert np.allclose(back.matvec(x), small_spd.matvec(x))
+
+    def test_wrong_vector_length(self, small_spd):
+        with pytest.raises(ConfigError):
+            small_spd.matvec(np.zeros(3))
+
+    @given(st.integers(min_value=2, max_value=40))
+    @settings(max_examples=15, deadline=None)
+    def test_matvec_property(self, n):
+        m = random_sparse_spd(n, 4 * n, seed=n)
+        x = np.ones(n)
+        y = m.matvec(x)
+        # diagonal dominance with A·1: each entry is positive
+        assert np.all(y > 0)
+
+
+class TestRowPartitioning:
+    def test_blocks_cover_all_rows(self, small_spd):
+        for p in (1, 3, 7, 32):
+            blocks = [small_spd.row_block(i, p) for i in range(p)]
+            assert blocks[0][0] == 0
+            assert blocks[-1][1] == 200
+            for (a, b), (c, d) in zip(blocks, blocks[1:]):
+                assert b == c
+
+    def test_balanced(self, small_spd):
+        blocks = [small_spd.row_block(i, 7) for i in range(7)]
+        sizes = [hi - lo for lo, hi in blocks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_pid_validation(self, small_spd):
+        with pytest.raises(ConfigError):
+            small_spd.row_block(5, 4)
+
+
+class TestFormatValidation:
+    def test_csr_structure_checked(self):
+        with pytest.raises(ConfigError):
+            SparseCSR(
+                n=3,
+                row_start=np.array([0, 1, 2]),  # wrong length
+                col_index=np.array([0, 1]),
+                values=np.array([1.0, 2.0]),
+            )
+        with pytest.raises(ConfigError):
+            SparseCSR(
+                n=2,
+                row_start=np.array([0, 1, 5]),  # doesn't end at nnz
+                col_index=np.array([0, 1]),
+                values=np.array([1.0, 2.0]),
+            )

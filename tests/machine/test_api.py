@@ -1,0 +1,114 @@
+"""Tests for the shared-memory programming API."""
+
+import pytest
+
+from repro.errors import AllocationError, MemoryModelError
+from repro.machine.api import SharedArray, SharedMemory, run_threads
+from repro.machine.config import PAGE_BYTES, SUBPAGE_BYTES
+from repro.machine.ksr import KsrMachine
+from repro.sim.process import Compute, Read, Write
+from tests.conftest import quiet_ksr1
+
+
+@pytest.fixture
+def mem(machine):
+    return SharedMemory(machine)
+
+
+class TestAllocator:
+    def test_default_alignment_prevents_false_sharing(self, mem):
+        a = mem.alloc_word()
+        b = mem.alloc_word()
+        assert a // SUBPAGE_BYTES != b // SUBPAGE_BYTES
+
+    def test_custom_alignment(self, mem):
+        addr = mem.alloc(100, align=PAGE_BYTES)
+        assert addr % PAGE_BYTES == 0
+
+    def test_rejects_nonpositive(self, mem):
+        with pytest.raises(MemoryModelError):
+            mem.alloc(0)
+
+    def test_arena_exhaustion(self, machine):
+        small = SharedMemory(machine, arena_bytes=1024)
+        small.alloc(512)
+        with pytest.raises(AllocationError):
+            small.alloc(1024)
+
+    def test_allocations_do_not_overlap(self, mem):
+        spans = []
+        for size in (8, 128, 4096, 24):
+            base = mem.alloc(size)
+            spans.append((base, base + size))
+        spans.sort()
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert start >= end
+
+
+class TestSharedArray:
+    def test_addressing(self, mem):
+        arr = mem.array("x", 100)
+        assert arr.addr(0) == arr.base
+        assert arr.addr(1) == arr.base + 8
+        assert len(arr) == 100
+        assert arr.nbytes == 800
+
+    def test_bounds_checked(self, mem):
+        arr = mem.array("x", 10)
+        with pytest.raises(MemoryModelError):
+            arr.addr(10)
+        with pytest.raises(MemoryModelError):
+            arr.addr(-1)
+
+    def test_page_array_alignment(self, mem):
+        arr = mem.page_array("big", 10)
+        assert arr.base % PAGE_BYTES == 0
+
+
+class TestPeekPoke:
+    def test_poke_visible_to_simulated_read(self, machine, mem):
+        a = mem.alloc_word()
+        mem.poke(a, 77)
+
+        def body():
+            v = yield Read(a)
+            return v
+
+        p = machine.spawn("t", body(), 0)
+        machine.run()
+        assert p.result == 77
+
+    def test_peek_after_simulated_write(self, machine, mem):
+        a = mem.alloc_word()
+
+        def body():
+            yield Write(a, 5)
+
+        machine.spawn("t", body(), 0)
+        machine.run()
+        assert mem.peek(a) == 5
+
+
+class TestRunThreads:
+    def test_generators(self, machine):
+        def make(i):
+            def body():
+                yield Compute(100 * (i + 1))
+                return i
+
+            return body()
+
+        ps = run_threads(machine, [make(i) for i in range(3)])
+        assert [p.result for p in ps] == [0, 1, 2]
+        assert all(p.finished for p in ps)
+
+    def test_callables_receive_index(self):
+        m = KsrMachine(quiet_ksr1(4))
+
+        def body(i):
+            yield Compute(10)
+            return i * 10
+
+        ps = run_threads(m, [body] * 4)
+        assert [p.result for p in ps] == [0, 10, 20, 30]
+        assert [p.cell_id for p in ps] == [0, 1, 2, 3]

@@ -1,0 +1,124 @@
+"""Tests for machine configurations against published parameters."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.config import (
+    CacheConfig,
+    LatencyConfig,
+    MachineConfig,
+    RingConfig,
+    TimerConfig,
+)
+
+
+class TestKsr1Factory:
+    def test_published_parameters(self):
+        cfg = MachineConfig.ksr1()
+        assert cfg.clock_hz == 20e6
+        assert cfg.n_cells == 32
+        assert cfg.issue_width == 2
+        assert cfg.peak_mflops_per_cell == 40.0
+        assert cfg.subcache.total_bytes == 256 * 1024
+        assert cfg.local_cache.total_bytes == 32 * 1024 * 1024
+        assert cfg.remote_latency_cycles == pytest.approx(175.0)
+        assert cfg.latency.subcache_hit_cycles == 2.0
+        assert cfg.latency.local_cache_hit_cycles == 18.0
+
+    def test_cycle_time_50ns(self):
+        assert MachineConfig.ksr1().cycle_s == pytest.approx(50e-9)
+
+    def test_alloc_penalties_match_measured_percentages(self):
+        """+50 % on an 18-cycle local access; +60 % on a remote."""
+        lat = MachineConfig.ksr1().latency
+        assert lat.block_alloc_cycles / lat.local_cache_hit_cycles == pytest.approx(
+            0.5, abs=0.01
+        )
+        assert lat.page_alloc_cycles / 175.0 == pytest.approx(0.6, abs=0.01)
+
+
+class TestKsr2Factory:
+    def test_clock_doubles_only(self):
+        k1, k2 = MachineConfig.ksr1(), MachineConfig.ksr2()
+        assert k2.clock_hz == 2 * k1.clock_hz
+        # ring latency constant in seconds => doubled in cycles
+        assert k2.remote_latency_cycles == pytest.approx(2 * k1.remote_latency_cycles)
+        assert k2.seconds(k2.remote_latency_cycles) == pytest.approx(
+            k1.seconds(k1.remote_latency_cycles)
+        )
+        # sub-cache is pipeline-coupled: still 2 cycles
+        assert k2.latency.subcache_hit_cycles == 2.0
+        # memory geometry identical
+        assert k2.subcache == k1.subcache
+        assert k2.local_cache == k1.local_cache
+
+    def test_default_64_cells_two_rings(self):
+        cfg = MachineConfig.ksr2()
+        assert cfg.n_cells == 64
+        assert cfg.n_rings == 2
+        assert cfg.ring_of(31) == 0 and cfg.ring_of(32) == 1
+        assert cfg.same_ring(0, 31) and not cfg.same_ring(0, 32)
+
+    def test_cross_ring_latency_larger(self):
+        cfg = MachineConfig.ksr2()
+        assert cfg.remote_latency_between(0, 40) > cfg.remote_latency_between(0, 20)
+
+
+class TestValidation:
+    def test_cell_count_bounds(self):
+        with pytest.raises(ConfigError):
+            MachineConfig.ksr1(0)
+        with pytest.raises(ConfigError):
+            MachineConfig.ksr1(34 * 32 + 1)
+
+    def test_max_machine_allowed(self):
+        assert MachineConfig.ksr1(34 * 32).n_rings == 34
+
+    def test_cache_config_validation(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(total_bytes=1024, ways=2, line_bytes=64, alloc_bytes=100)
+        with pytest.raises(ConfigError):
+            CacheConfig(total_bytes=-1, ways=2, line_bytes=64, alloc_bytes=128)
+
+    def test_ring_config_validation(self):
+        with pytest.raises(ConfigError):
+            RingConfig(1, 2, 12, 4.0, 39.0, 260.0)
+        with pytest.raises(ConfigError):
+            RingConfig(34, 0, 12, 4.0, 39.0, 260.0)
+        with pytest.raises(ConfigError):
+            RingConfig(34, 2, 12, -1.0, 39.0, 260.0)
+
+    def test_latency_config_validation(self):
+        with pytest.raises(ConfigError):
+            LatencyConfig(subcache_hit_cycles=0)
+
+    def test_timer_config_validation(self):
+        with pytest.raises(ConfigError):
+            TimerConfig(enabled=True, period_s=0, cost_s=0)
+        with pytest.raises(ConfigError):
+            TimerConfig(enabled=True, period_s=1e-3, cost_s=2e-3)
+        TimerConfig(enabled=False, period_s=0, cost_s=0)  # ignored when off
+
+    def test_cell_range_check(self):
+        cfg = MachineConfig.ksr1(4)
+        with pytest.raises(ConfigError):
+            cfg.ring_of(4)
+
+
+class TestDerived:
+    def test_with_cells(self):
+        cfg = MachineConfig.ksr1(32).with_cells(8)
+        assert cfg.n_cells == 8
+        assert cfg.name == "KSR-1"
+
+    def test_seconds_cycles_roundtrip(self):
+        cfg = MachineConfig.ksr1()
+        assert cfg.cycles(cfg.seconds(175.0)) == pytest.approx(175.0)
+
+    def test_ring_capacity_anchor(self):
+        """24 slots of 128 bytes turning over every circuit sustain on
+        the order of the published 1 GB/s."""
+        cfg = MachineConfig.ksr1()
+        circuits_per_s = cfg.clock_hz / cfg.ring.circuit_cycles
+        bandwidth = cfg.ring.total_slots * 128 * circuits_per_s
+        assert bandwidth > 0.4e9  # same order as the published figure

@@ -1,0 +1,54 @@
+"""Tests for the timer-interrupt model."""
+
+import numpy as np
+import pytest
+
+from repro.machine.config import MachineConfig, TimerConfig
+from repro.machine.thread import TimerModel
+
+
+def model(period_s=10e-3, cost_s=150e-6, enabled=True, cell=0, seed=0):
+    cfg = MachineConfig.ksr1(
+        4, timer=TimerConfig(enabled=enabled, period_s=period_s, cost_s=cost_s)
+    )
+    return TimerModel(cfg, cell, np.random.default_rng(seed)), cfg
+
+
+class TestTimerModel:
+    def test_disabled_is_identity(self):
+        tm, _ = model(enabled=False)
+        end, n = tm.extend(0.0, 12345.0)
+        assert end == 12345.0 and n == 0
+
+    def test_short_op_between_ticks_unaffected(self):
+        tm, cfg = model()
+        start = tm.phase + 1.0  # just after a tick
+        end, n = tm.extend(start, 100.0)
+        assert n == 0 and end == start + 100.0
+
+    def test_op_spanning_one_tick_pays_one_cost(self):
+        tm, cfg = model()
+        start = tm.phase - 50.0 + tm.period_cycles  # 50 cycles before next tick
+        end, n = tm.extend(start, 100.0)
+        assert n == 1
+        assert end == pytest.approx(start + 100.0 + tm.cost_cycles)
+
+    def test_long_op_pays_proportional_costs(self):
+        tm, cfg = model()
+        duration = 10 * tm.period_cycles
+        end, n = tm.extend(0.0, duration)
+        assert 9 <= n <= 12  # includes ticks landing in the stretched tail
+        assert end == pytest.approx(duration + n * tm.cost_cycles)
+
+    def test_phases_unsynchronized_across_cells(self):
+        phases = set()
+        for cell in range(8):
+            tm, _ = model(cell=cell, seed=cell)
+            phases.add(round(tm.phase, 3))
+        assert len(phases) == 8
+
+    def test_ticks_between_half_open(self):
+        tm, _ = model()
+        t = tm.phase
+        assert tm.ticks_between(t - 1, t) == 1
+        assert tm.ticks_between(t, t + 1) == 0

@@ -1,0 +1,107 @@
+"""Tests for address arithmetic and segment translation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MemoryModelError
+from repro.machine.config import (
+    BLOCK_BYTES,
+    PAGE_BYTES,
+    SUBBLOCK_BYTES,
+    SUBPAGE_BYTES,
+)
+from repro.memory.address import (
+    ContextAddressSpace,
+    SegmentTranslationTable,
+    align_up,
+    block_of,
+    page_of,
+    subblock_of,
+    subpage_of,
+    subpage_base,
+    word_of,
+)
+
+addresses = st.integers(min_value=0, max_value=2**40)
+
+
+class TestGranularities:
+    def test_published_sizes(self):
+        assert SUBPAGE_BYTES == 128
+        assert SUBBLOCK_BYTES == 64
+        assert BLOCK_BYTES == 2048
+        assert PAGE_BYTES == 16384
+
+    @given(addresses)
+    def test_containment_chain(self, addr):
+        # word ⊆ sub-block ⊆ subpage ⊆ block ⊆ page
+        assert subblock_of(addr) == word_of(addr) * 8 // SUBBLOCK_BYTES
+        assert subpage_of(addr) * SUBPAGE_BYTES <= addr < (subpage_of(addr) + 1) * SUBPAGE_BYTES
+        assert block_of(addr) == subpage_of(addr) * SUBPAGE_BYTES // BLOCK_BYTES
+        assert page_of(addr) == addr // PAGE_BYTES
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_subpage_base_roundtrip(self, sp):
+        assert subpage_of(subpage_base(sp)) == sp
+
+    def test_two_subblocks_per_subpage(self):
+        assert subblock_of(SUBPAGE_BYTES - 1) - subblock_of(0) == 1
+
+
+class TestAlignUp:
+    @given(addresses, st.sampled_from([8, 64, 128, 2048, 16384]))
+    def test_result_aligned_and_minimal(self, addr, alignment):
+        result = align_up(addr, alignment)
+        assert result % alignment == 0
+        assert result >= addr
+        assert result - addr < alignment
+
+    def test_rejects_nonpositive_alignment(self):
+        with pytest.raises(MemoryModelError):
+            align_up(10, 0)
+
+
+class TestSegmentTranslation:
+    def test_translate(self):
+        stt = SegmentTranslationTable()
+        stt.map(ca_base=0x1000, size=0x1000, sva_base=0x9000)
+        assert stt.translate(0x1234) == 0x9234
+
+    def test_overlap_rejected(self):
+        stt = SegmentTranslationTable()
+        stt.map(0x1000, 0x1000, 0x9000)
+        with pytest.raises(MemoryModelError):
+            stt.map(0x1800, 0x1000, 0xA000)
+
+    def test_adjacent_segments_ok(self):
+        stt = SegmentTranslationTable()
+        stt.map(0x1000, 0x1000, 0x9000)
+        stt.map(0x2000, 0x1000, 0xB000)
+        assert stt.translate(0x2000) == 0xB000
+
+    def test_unmapped_rejected(self):
+        stt = SegmentTranslationTable()
+        with pytest.raises(MemoryModelError):
+            stt.translate(0x55)
+
+    def test_readonly_write_rejected(self):
+        stt = SegmentTranslationTable()
+        stt.map(0, 0x100, 0x9000, writable=False)
+        assert stt.translate(0x10) == 0x9010
+        with pytest.raises(MemoryModelError):
+            stt.translate(0x10, for_write=True)
+
+
+class TestContextAddressSpace:
+    def test_attach_sequential_non_overlapping(self):
+        ctx = ContextAddressSpace()
+        ca1 = ctx.attach(0x100000, 300)
+        ca2 = ctx.attach(0x200000, 300)
+        assert ca2 >= ca1 + 300
+        assert ctx.translate(ca1 + 5) == 0x100005
+        assert ctx.translate(ca2 + 5) == 0x200005
+
+    def test_ca_bases_subpage_aligned(self):
+        ctx = ContextAddressSpace()
+        ca = ctx.attach(0x100000, 100)
+        assert ca % SUBPAGE_BYTES == 0

@@ -1,0 +1,137 @@
+"""Tests for the StatCache-style analytic model, including validation
+against the exact event-level cache simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MemoryModelError
+from repro.machine.config import CacheConfig, SUBPAGE_BYTES, WORD_BYTES
+from repro.memory.analytic_cache import (
+    AnalyticCache,
+    fixpoint_miss_ratio,
+    time_distances,
+)
+from repro.memory.cache_sets import SetAssociativeCache
+from repro.memory.streams import gather, sequential
+
+WORDS_PER_SUBPAGE = SUBPAGE_BYTES // WORD_BYTES
+
+
+class TestTimeDistances:
+    def test_basic(self):
+        ids = np.array([1, 2, 1, 1, 3, 2])
+        d, n_cold = time_distances(ids)
+        assert list(d) == [-1, -1, 2, 1, -1, 4]
+        assert n_cold == 3
+
+    def test_empty(self):
+        d, n_cold = time_distances(np.empty(0, dtype=np.int64))
+        assert d.size == 0 and n_cold == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_naive(self, ids_list):
+        ids = np.array(ids_list)
+        d, n_cold = time_distances(ids)
+        last: dict[int, int] = {}
+        for i, x in enumerate(ids_list):
+            expected = i - last[x] if x in last else -1
+            assert d[i] == expected
+            last[x] = i
+        assert n_cold == len(set(ids_list))
+
+
+class TestFixpoint:
+    def test_all_cold_stream(self):
+        ids = np.arange(100)
+        d, n_cold = time_distances(ids)
+        m, p = fixpoint_miss_ratio(d, n_cold, n_lines=1000)
+        assert m == pytest.approx(1.0)
+        assert np.all(p == 1.0)
+
+    def test_tiny_working_set_all_hits_after_cold(self):
+        ids = np.tile(np.arange(4), 100)
+        d, n_cold = time_distances(ids)
+        m, _ = fixpoint_miss_ratio(d, n_cold, n_lines=10_000)
+        assert m == pytest.approx(4 / 400, abs=1e-3)
+
+    def test_thrashing_working_set(self):
+        # 1000 distinct lines cycled through a 10-line cache: ~all miss
+        ids = np.tile(np.arange(1000), 3)
+        d, n_cold = time_distances(ids)
+        m, _ = fixpoint_miss_ratio(d, n_cold, n_lines=10)
+        assert m > 0.95
+
+    def test_invalid_cache_size(self):
+        with pytest.raises(MemoryModelError):
+            fixpoint_miss_ratio(np.array([-1]), 1, n_lines=0)
+
+
+class TestAgainstExactSimulator:
+    """The analytic model should land near the event-level cache with
+    random replacement, across qualitatively different streams."""
+
+    CONFIG = CacheConfig(total_bytes=64 * 1024, ways=4, line_bytes=128, alloc_bytes=2048)
+
+    def _exact_miss_ratio(self, subpage_ids: np.ndarray, seed: int = 0) -> float:
+        # event-level cache at subpage granularity
+        cache = SetAssociativeCache(self.CONFIG, np.random.default_rng(seed))
+        misses = sum(0 if cache.access(int(sp)).line_hit else 1 for sp in subpage_ids)
+        return misses / len(subpage_ids)
+
+    def _compare(self, stream, tol):
+        model = AnalyticCache(self.CONFIG).simulate(stream)
+        exact = np.mean(
+            [self._exact_miss_ratio(stream.subpages, seed) for seed in range(3)]
+        )
+        assert model.miss_ratio == pytest.approx(exact, abs=tol)
+
+    def test_fits_in_cache(self):
+        # 32 KB working set in a 64 KB cache, swept 4 times
+        self._compare(sequential(0, 4096).repeated(4), tol=0.05)
+
+    def test_thrashes_cache(self):
+        # 256 KB working set in a 64 KB cache
+        self._compare(sequential(0, 32768).repeated(2), tol=0.08)
+
+    def test_random_gather(self):
+        rng = np.random.default_rng(1)
+        idx = rng.integers(0, 20_000, size=30_000)
+        self._compare(gather(0, idx), tol=0.08)
+
+    def test_skewed_gather(self):
+        rng = np.random.default_rng(2)
+        idx = (rng.zipf(1.5, size=30_000) % 40_000).astype(np.int64)
+        self._compare(gather(0, idx), tol=0.08)
+
+
+class TestAnalyticCacheResults:
+    CONFIG = CacheConfig(total_bytes=64 * 1024, ways=4, line_bytes=128, alloc_bytes=2048)
+
+    def test_warm_iteration_drops_cold_misses(self):
+        stream = sequential(0, 2048)  # 16 KB, fits in 64 KB easily
+        cold = AnalyticCache(self.CONFIG).simulate(stream)
+        warm = AnalyticCache(self.CONFIG).simulate(stream, iterations=3)
+        assert cold.miss_ratio == pytest.approx(1.0)
+        assert warm.miss_ratio < 0.1
+
+    def test_word_hits_account_for_weights(self):
+        stream = sequential(0, 1600)  # 100 subpages, 16 words each
+        res = AnalyticCache(self.CONFIG).simulate(stream)
+        assert res.n_word_accesses == 1600
+        assert res.expected_word_hits == pytest.approx(1600 - res.expected_line_misses)
+
+    def test_frame_allocs_bounded_by_footprint(self):
+        stream = sequential(0, 65536)
+        res = AnalyticCache(self.CONFIG).simulate(stream)
+        n_pages_touched = len(np.unique(stream.mapped(self.CONFIG.alloc_bytes // 128)))
+        assert res.expected_frame_allocs >= n_pages_touched * 0.99
+
+    def test_empty_stream(self):
+        res = AnalyticCache(self.CONFIG).simulate(sequential(0, 0))
+        assert res.n_touches == 0 and res.miss_ratio == 0.0
+
+    def test_bad_iterations(self):
+        with pytest.raises(MemoryModelError):
+            AnalyticCache(self.CONFIG).simulate(sequential(0, 16), iterations=0)

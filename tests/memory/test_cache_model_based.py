@@ -1,0 +1,96 @@
+"""Model-based (stateful) testing of the set-associative cache.
+
+The LRU policy is deterministic, so the cache can be checked
+step-by-step against an independent reference model under arbitrary
+hypothesis-generated access/drop sequences.  (Random replacement is
+covered statistically in test_cache_sets/test_analytic_cache.)
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.machine.config import CacheConfig
+from repro.memory.cache_sets import SetAssociativeCache
+
+CONFIG = CacheConfig(total_bytes=4 * 2 * 256, ways=2, line_bytes=64, alloc_bytes=256)
+LINES_PER_ALLOC = 4
+N_SETS = 4  # derived: 8 frames / 2 ways
+
+
+class _ReferenceLru:
+    """Straight-line reference: per-set ordered dict of frames."""
+
+    def __init__(self):
+        self.sets = [dict() for _ in range(N_SETS)]  # alloc_id -> set(lines)
+
+    def access(self, line_id):
+        alloc = line_id // LINES_PER_ALLOC
+        s = self.sets[alloc % N_SETS]
+        if alloc in s:
+            lines = s.pop(alloc)
+            s[alloc] = lines  # refresh recency
+            hit = line_id in lines
+            lines.add(line_id)
+            return hit, False
+        if len(s) >= 2:
+            victim = next(iter(s))
+            s.pop(victim)
+        s[alloc] = {line_id}
+        return False, True
+
+    def contains_line(self, line_id):
+        alloc = line_id // LINES_PER_ALLOC
+        return line_id in self.sets[alloc % N_SETS].get(alloc, ())
+
+    def drop_line(self, line_id):
+        alloc = line_id // LINES_PER_ALLOC
+        self.sets[alloc % N_SETS].get(alloc, set()).discard(line_id)
+
+    def drop_frame(self, alloc):
+        self.sets[alloc % N_SETS].pop(alloc, None)
+
+    def frames_used(self):
+        return sum(len(s) for s in self.sets)
+
+
+class LruCacheMachine(RuleBasedStateMachine):
+    """Drive the real cache and the reference in lockstep."""
+
+    def __init__(self):
+        super().__init__()
+        self.cache = SetAssociativeCache(
+            CONFIG, np.random.default_rng(0), policy="lru"
+        )
+        self.reference = _ReferenceLru()
+
+    @rule(line=st.integers(min_value=0, max_value=63))
+    def access(self, line):
+        result = self.cache.access(line)
+        ref_hit, ref_alloc = self.reference.access(line)
+        assert result.line_hit == ref_hit
+        assert result.frame_allocated == ref_alloc
+
+    @rule(line=st.integers(min_value=0, max_value=63))
+    def drop_line(self, line):
+        self.cache.drop_line(line)
+        self.reference.drop_line(line)
+
+    @rule(alloc=st.integers(min_value=0, max_value=15))
+    def drop_frame(self, alloc):
+        self.cache.drop_frame(alloc)
+        self.reference.drop_frame(alloc)
+
+    @invariant()
+    def same_occupancy(self):
+        assert self.cache.n_frames_used == self.reference.frames_used()
+
+    @invariant()
+    def same_contents_sample(self):
+        for line in (0, 7, 21, 42, 63):
+            assert self.cache.contains_line(line) == self.reference.contains_line(line)
+
+
+TestLruModelBased = LruCacheMachine.TestCase
+TestLruModelBased.settings = settings(max_examples=40, stateful_step_count=60, deadline=None)

@@ -1,0 +1,48 @@
+"""Tests for the hardware performance monitor model."""
+
+import pytest
+
+from repro.memory.perfmon import PerfMonitor
+
+
+class TestPerfMonitor:
+    def test_addition_aggregates(self):
+        a = PerfMonitor(subcache_misses=3, ring_cycles=100.0)
+        b = PerfMonitor(subcache_misses=4, ring_cycles=50.0)
+        total = a + b
+        assert total.subcache_misses == 7
+        assert total.ring_cycles == pytest.approx(150.0)
+
+    def test_reset(self):
+        pm = PerfMonitor(subcache_misses=3, ring_cycles=10.0)
+        pm.reset()
+        assert pm.subcache_misses == 0
+        assert pm.ring_cycles == 0.0
+
+    def test_diff(self):
+        pm = PerfMonitor(ring_transactions=10)
+        before = pm.copy()
+        pm.ring_transactions += 5
+        assert pm.diff(before).ring_transactions == 5
+
+    def test_avg_ring_latency(self):
+        pm = PerfMonitor(ring_transactions=4, ring_cycles=700.0)
+        assert pm.avg_ring_latency == pytest.approx(175.0)
+
+    def test_avg_ring_latency_no_traffic(self):
+        assert PerfMonitor().avg_ring_latency == 0.0
+
+    def test_total_memory_accesses(self):
+        pm = PerfMonitor(subcache_hits=10, subcache_misses=5)
+        assert pm.total_memory_accesses == 15
+
+    def test_snapshot_is_plain_dict(self):
+        snap = PerfMonitor(snarfs=2).snapshot()
+        assert snap["snarfs"] == 2
+        assert isinstance(snap, dict)
+
+    def test_copy_is_independent(self):
+        pm = PerfMonitor(snarfs=1)
+        clone = pm.copy()
+        pm.snarfs = 99
+        assert clone.snarfs == 1

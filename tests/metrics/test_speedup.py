@@ -1,0 +1,136 @@
+"""Tests for the scalability metrics, anchored on the paper's tables."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.metrics.speedup import (
+    ScalingTable,
+    efficiency,
+    is_superunitary_step,
+    karp_flatt_serial_fraction,
+    speedup,
+)
+
+# Table 1 of the paper (Conjugate Gradient, n=14000)
+CG_TABLE = [
+    (1, 1638.85970),
+    (2, 930.47700),
+    (4, 565.22150),
+    (8, 259.55210),
+    (16, 126.51990),
+    (32, 72.00830),
+]
+# Table 2 (Integer Sort, 2^23 keys)
+IS_TABLE = [
+    (1, 692.95492),
+    (2, 351.03866),
+    (4, 180.95085),
+    (8, 95.79978),
+    (16, 54.80835),
+    (30, 36.56198),
+    (32, 36.63433),
+]
+
+
+class TestAgainstPaperTables:
+    def test_cg_speedups(self):
+        t1 = CG_TABLE[0][1]
+        published = {2: 1.76131, 4: 2.89950, 8: 6.31418, 16: 12.95340, 32: 22.75930}
+        for p, tp in CG_TABLE[1:]:
+            assert speedup(t1, tp) == pytest.approx(published[p], abs=1e-4)
+
+    def test_cg_serial_fractions(self):
+        t1 = CG_TABLE[0][1]
+        published = {2: 0.135518, 4: 0.126516, 8: 0.038141, 16: 0.015680, 32: 0.013097}
+        for p, tp in CG_TABLE[1:]:
+            assert karp_flatt_serial_fraction(t1, tp, p) == pytest.approx(
+                published[p], abs=1e-4
+            )
+
+    def test_is_serial_fraction_rises(self):
+        t1 = IS_TABLE[0][1]
+        fractions = [karp_flatt_serial_fraction(t1, tp, p) for p, tp in IS_TABLE[1:]]
+        assert fractions == sorted(fractions)
+        assert fractions[0] == pytest.approx(0.013166, abs=1e-4)
+        assert fractions[-1] == pytest.approx(0.022314, abs=1e-4)
+
+    def test_cg_superunitary_between_4_and_16(self):
+        table = ScalingTable.from_pairs(CG_TABLE)
+        steps = table.superunitary_steps()
+        assert (4, 8) in steps
+        assert (8, 16) in steps
+        assert (16, 32) not in steps
+
+    def test_cg_efficiency_column(self):
+        t1 = CG_TABLE[0][1]
+        assert efficiency(t1, 930.477, 2) == pytest.approx(0.881, abs=1e-3)
+        assert efficiency(t1, 72.0083, 32) == pytest.approx(0.711, abs=1e-3)
+
+
+class TestValidation:
+    def test_speedup_needs_positive_times(self):
+        with pytest.raises(ConfigError):
+            speedup(0, 1)
+        with pytest.raises(ConfigError):
+            speedup(1, -1)
+
+    def test_serial_fraction_needs_p2(self):
+        with pytest.raises(ConfigError):
+            karp_flatt_serial_fraction(1.0, 1.0, 1)
+
+    def test_efficiency_needs_p1(self):
+        with pytest.raises(ConfigError):
+            efficiency(1.0, 1.0, 0)
+
+    def test_superunitary_order(self):
+        with pytest.raises(ConfigError):
+            is_superunitary_step(1.0, 4, 2.0, 4)
+
+
+class TestScalingTable:
+    def test_rows_match_direct_computation(self):
+        table = ScalingTable.from_pairs(CG_TABLE)
+        rows = table.points()
+        assert rows[0].serial_fraction is None
+        assert rows[0].speedup == 1.0
+        assert rows[-1].processors == 32
+        assert rows[-1].speedup == pytest.approx(22.7593, abs=1e-3)
+
+    def test_requires_baseline(self):
+        table = ScalingTable()
+        table.add(2, 10.0)
+        with pytest.raises(ConfigError):
+            table.points()
+
+    def test_requires_increasing_p(self):
+        table = ScalingTable()
+        table.add(4, 10.0)
+        with pytest.raises(ConfigError):
+            table.add(2, 20.0)
+
+    def test_row_formatting(self):
+        table = ScalingTable.from_pairs(CG_TABLE[:2])
+        rows = table.points()
+        assert rows[0].row()[4] == "-"
+        assert isinstance(rows[1].row()[4], float)
+
+
+class TestProperties:
+    @given(
+        st.floats(min_value=0.1, max_value=1e4),
+        st.integers(min_value=2, max_value=1024),
+    )
+    def test_perfect_scaling_has_zero_serial_fraction(self, t1, p):
+        assert karp_flatt_serial_fraction(t1, t1 / p, p) == pytest.approx(0.0, abs=1e-9)
+
+    @given(
+        st.floats(min_value=0.001, max_value=1.0),
+        st.integers(min_value=2, max_value=512),
+    )
+    def test_amdahl_roundtrip(self, f, p):
+        """Times generated from Amdahl's law recover the serial
+        fraction exactly."""
+        t1 = 100.0
+        tp = t1 * (f + (1 - f) / p)
+        assert karp_flatt_serial_fraction(t1, tp, p) == pytest.approx(f, rel=1e-6)

@@ -1,0 +1,76 @@
+"""Tests for the analytic ring-load model, including cross-validation
+against the cycle-level slotted ring."""
+
+import numpy as np
+import pytest
+
+from repro.machine.config import MachineConfig
+from repro.ring.contention import RingLoadModel, effective_remote_latency
+from repro.ring.slotted_ring import SlottedRing
+
+RING = MachineConfig.ksr1(32).ring
+
+
+class TestShape:
+    def test_single_processor_base_latency(self):
+        model = RingLoadModel(RING)
+        assert model.effective_latency(1) == pytest.approx(RING.remote_latency_cycles)
+
+    def test_monotone_in_processors(self):
+        model = RingLoadModel(RING)
+        lats = [model.effective_latency(p) for p in range(1, 33)]
+        assert all(b >= a - 1e-9 for a, b in zip(lats, lats[1:]))
+
+    def test_think_time_relieves_load(self):
+        model = RingLoadModel(RING)
+        assert model.effective_latency(32, think_cycles=2000) < model.effective_latency(
+            32, think_cycles=0
+        )
+
+    def test_paper_anchor_8pct_at_32(self):
+        """Section 3.1: ~8 % latency increase when all 32 processors
+        stream distinct remote accesses."""
+        model = RingLoadModel(RING)
+        ratio = model.effective_latency(32) / RING.remote_latency_cycles
+        assert 1.04 < ratio < 1.20
+
+    def test_light_at_16(self):
+        """Section 3.3.2: 'the network is not a bottleneck ... until
+        about 16 processors'."""
+        model = RingLoadModel(RING)
+        ratio = model.effective_latency(16) / RING.remote_latency_cycles
+        assert ratio < 1.06
+
+    def test_saturation_flag(self):
+        model = RingLoadModel(RING)
+        assert not model.is_saturated(8)
+        assert model.is_saturated(64)  # hypothetical overload
+
+    def test_utilization_bounds(self):
+        model = RingLoadModel(RING)
+        for p in (1, 8, 32, 128):
+            assert 0.0 <= model.utilization(p) <= 1.0
+
+    def test_wrapper(self):
+        assert effective_remote_latency(RING, 4) == RingLoadModel(RING).effective_latency(4)
+
+
+class TestAgainstSlottedRing:
+    """The closed form should track the cycle-level model within ~10 %
+    for back-to-back remote readers."""
+
+    @pytest.mark.parametrize("n_procs", [2, 8, 16, 24, 32])
+    def test_latency_matches(self, n_procs):
+        ring = SlottedRing(RING, np.random.default_rng(0))
+        next_free = [0.0] * n_procs
+        latencies = []
+        subpage = 0
+        for _ in range(1500):
+            cell = int(np.argmin(next_free))
+            grant = ring.transact(next_free[cell], subpage)
+            subpage += 1
+            latencies.append(grant.total_cycles)
+            next_free[cell] = grant.completed_at
+        measured = float(np.mean(latencies[300:]))
+        predicted = RingLoadModel(RING).effective_latency(n_procs)
+        assert predicted == pytest.approx(measured, rel=0.10)

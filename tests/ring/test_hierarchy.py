@@ -1,0 +1,82 @@
+"""Tests for the two-level ring hierarchy."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.ring.hierarchy import RingHierarchy
+from repro.util.rng import SeedStream
+from tests.conftest import quiet_ksr1, quiet_ksr2
+
+
+def make_hierarchy(config):
+    return RingHierarchy(config, SeedStream(config.seed))
+
+
+class TestTopology:
+    def test_single_ring_machine(self):
+        h = make_hierarchy(quiet_ksr1(32))
+        assert len(h.leaf_rings) == 1
+
+    def test_two_ring_machine(self):
+        h = make_hierarchy(quiet_ksr2(64))
+        assert len(h.leaf_rings) == 2
+        assert h.ring_of(0) == 0
+        assert h.ring_of(32) == 1
+
+    def test_level1_has_more_bandwidth(self):
+        h = make_hierarchy(quiet_ksr2(64))
+        assert h.level1.config.total_slots > h.leaf_rings[0].config.total_slots
+
+    def test_validate_cells(self):
+        h = make_hierarchy(quiet_ksr1(4))
+        h.validate_cells(0, 3)
+        with pytest.raises(ConfigError):
+            h.validate_cells(4)
+
+
+class TestSameRingTransactions:
+    def test_same_ring_single_leg(self):
+        h = make_hierarchy(quiet_ksr1(32))
+        t = h.transact(0.0, src_cell=0, dst_cell=31, subpage_id=0)
+        assert not t.crossed_rings
+        assert len(t.legs) == 1
+        assert t.total_cycles >= h.config.ring.remote_latency_cycles
+
+    def test_dst_none_stays_local(self):
+        h = make_hierarchy(quiet_ksr1(32))
+        t = h.transact(0.0, src_cell=5, dst_cell=None, subpage_id=0)
+        assert not t.crossed_rings
+
+
+class TestCrossRingTransactions:
+    def test_cross_ring_three_legs(self):
+        h = make_hierarchy(quiet_ksr2(64))
+        t = h.transact(0.0, src_cell=0, dst_cell=40, subpage_id=0)
+        assert t.crossed_rings
+        assert len(t.legs) == 3
+
+    def test_cross_ring_latency_jump(self):
+        """The paper's 'sudden jump' when crossing the level-1 ring."""
+        h = make_hierarchy(quiet_ksr2(64))
+        same = h.transact(0.0, 0, 31, 0).total_cycles
+        cross = h.transact(0.0, 0, 40, 2).total_cycles
+        assert cross > same * 2
+
+    def test_uncontended_latency_matches_transact(self):
+        h = make_hierarchy(quiet_ksr2(64))
+        analytic = h.uncontended_latency(0, 40)
+        timing = h.transact(0.0, 0, 40, 0)
+        # transact adds only slot-alignment jitter on each leg
+        jitter_bound = 3 * h.config.ring.slot_spacing_cycles
+        assert timing.total_cycles == pytest.approx(analytic, abs=jitter_bound)
+
+    def test_uncontended_same_ring_is_published_latency(self):
+        h = make_hierarchy(quiet_ksr1(32))
+        assert h.uncontended_latency(0, 5) == pytest.approx(175.0)
+
+
+class TestAccounting:
+    def test_transaction_counter_spans_rings(self):
+        h = make_hierarchy(quiet_ksr2(64))
+        h.transact(0.0, 0, 40, 0)
+        assert h.n_transactions == 3

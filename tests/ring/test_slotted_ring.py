@@ -1,0 +1,117 @@
+"""Tests for the slotted pipelined ring model."""
+
+import numpy as np
+import pytest
+
+from repro.machine.config import MachineConfig
+from repro.ring.slotted_ring import SlottedRing
+
+
+def make_ring(seed=0):
+    return SlottedRing(MachineConfig.ksr1(32).ring, np.random.default_rng(seed))
+
+
+class TestGeometry:
+    def test_published_remote_latency(self):
+        cfg = MachineConfig.ksr1(32).ring
+        assert cfg.remote_latency_cycles == pytest.approx(175.0)
+        assert cfg.total_slots == 24
+        assert cfg.n_subrings == 2
+        assert cfg.slots_per_subring == 12
+
+    def test_address_interleaving(self):
+        ring = make_ring()
+        assert ring.subring_of(0) != ring.subring_of(1)
+        assert ring.subring_of(0) == ring.subring_of(2)
+
+
+class TestUncontended:
+    def test_single_transaction_near_published_latency(self):
+        ring = make_ring()
+        grant = ring.transact(0.0, subpage_id=4)
+        # latency = jitter (< slot spacing) + circuit + overhead
+        assert 175.0 <= grant.total_cycles <= 175.0 + ring.config.slot_spacing_cycles
+        assert grant.wait_cycles < ring.config.slot_spacing_cycles
+
+    def test_responder_position_irrelevant(self):
+        """Unidirectional ring: one circuit regardless of distance —
+        the transact API doesn't even take a distance."""
+        ring = make_ring()
+        a = ring.transact(0.0, 0)
+        b = ring.transact(1000.0, 2)
+        assert a.total_cycles == pytest.approx(b.total_cycles, abs=ring.config.slot_spacing_cycles)
+
+    def test_custom_overhead(self):
+        ring = make_ring()
+        grant = ring.transact(0.0, 0, overhead_cycles=0.0)
+        assert grant.completed_at - grant.injected_at == pytest.approx(
+            ring.config.circuit_cycles
+        )
+
+
+class TestContention:
+    def test_light_load_no_queueing(self):
+        ring = make_ring()
+        for i in range(6):
+            grant = ring.transact(float(i * 500), subpage_id=2 * i)
+            assert grant.wait_cycles < ring.config.slot_spacing_cycles
+
+    def test_oversubscription_queues(self):
+        """More simultaneous transactions than slots on one sub-ring
+        must wait for slot turnover."""
+        ring = make_ring()
+        grants = [ring.transact(0.0, subpage_id=2 * i) for i in range(20)]
+        waits = [g.wait_cycles for g in grants]
+        assert max(waits) > ring.config.circuit_cycles * 0.5
+        assert ring.mean_wait_cycles > 0
+
+    def test_subrings_independent(self):
+        ring = make_ring()
+        # saturate sub-ring 0
+        for i in range(12):
+            ring.transact(0.0, subpage_id=0)
+        # sub-ring 1 still uncontended
+        grant = ring.transact(0.0, subpage_id=1)
+        assert grant.wait_cycles < ring.config.slot_spacing_cycles
+
+    def test_full_population_latency_increase_is_moderate(self):
+        """The paper: ~8 % latency growth with 32 processors doing
+        back-to-back distinct remote accesses."""
+        ring = make_ring()
+        base = ring.config.remote_latency_cycles
+        # steady state: 32 cells re-issuing immediately on completion
+        next_free = [0.0] * 32
+        latencies = []
+        subpage = 0
+        for _ in range(2000):
+            cell = int(np.argmin(next_free))
+            now = next_free[cell]
+            grant = ring.transact(now, subpage)
+            subpage += 1
+            latencies.append(grant.total_cycles)
+            next_free[cell] = grant.completed_at
+        steady = float(np.mean(latencies[500:]))
+        assert 1.0 < steady / base < 1.25
+
+
+class TestAccounting:
+    def test_counters(self):
+        ring = make_ring()
+        ring.transact(0.0, 0)
+        ring.transact(0.0, 1)
+        assert ring.n_transactions == 2
+        assert ring.total_transit_cycles > 0
+
+    def test_utilization_bounds(self):
+        ring = make_ring()
+        for i in range(10):
+            ring.transact(0.0, i)
+        u = ring.utilization(horizon=1000.0)
+        assert 0.0 < u <= 1.0
+        assert ring.utilization(0) == 0.0
+
+    def test_piggyback_window(self):
+        ring = make_ring()
+        grant = ring.transact(0.0, 0)
+        lo, hi = ring.piggyback_window(grant)
+        assert lo == grant.injected_at and hi == grant.completed_at

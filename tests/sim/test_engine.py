@@ -1,0 +1,118 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_fires_in_time_order(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(10, fired.append, "late")
+        eng.schedule(5, fired.append, "early")
+        eng.run()
+        assert fired == ["early", "late"]
+        assert eng.now == 10.0
+
+    def test_ties_fire_in_schedule_order(self):
+        eng = Engine()
+        fired = []
+        for tag in "abc":
+            eng.schedule(3, fired.append, tag)
+        eng.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        eng = Engine()
+        with pytest.raises(SimulationError):
+            eng.schedule(-1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        eng = Engine()
+        seen = []
+        eng.schedule_at(7.5, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [7.5]
+
+    def test_events_scheduled_from_callbacks(self):
+        eng = Engine()
+        fired = []
+
+        def first():
+            fired.append("first")
+            eng.schedule(5, lambda: fired.append("second"))
+
+        eng.schedule(1, first)
+        eng.run()
+        assert fired == ["first", "second"]
+        assert eng.now == 6.0
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        eng = Engine()
+        fired = []
+        ev = eng.schedule(5, fired.append, "x")
+        ev.cancel()
+        eng.run()
+        assert fired == []
+
+    def test_cancel_one_of_many(self):
+        eng = Engine()
+        fired = []
+        keep = eng.schedule(5, fired.append, "keep")
+        drop = eng.schedule(5, fired.append, "drop")
+        drop.cancel()
+        eng.run()
+        assert fired == ["keep"]
+        assert not keep.cancelled
+
+
+class TestRunControl:
+    def test_run_until_stops_clock(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(5, fired.append, "a")
+        eng.schedule(50, fired.append, "b")
+        eng.run(until=10)
+        assert fired == ["a"]
+        assert eng.now == 10.0
+        eng.run()
+        assert fired == ["a", "b"]
+
+    def test_run_until_advances_clock_even_when_idle(self):
+        eng = Engine()
+        eng.run(until=100)
+        assert eng.now == 100.0
+
+    def test_max_events(self):
+        eng = Engine()
+        fired = []
+        for i in range(10):
+            eng.schedule(i, fired.append, i)
+        eng.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_step_returns_false_when_idle(self):
+        assert Engine().step() is False
+
+    def test_events_fired_counter(self):
+        eng = Engine()
+        for i in range(4):
+            eng.schedule(i, lambda: None)
+        eng.run()
+        assert eng.events_fired == 4
+
+
+class TestDeterminism:
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=40))
+    def test_monotone_clock(self, delays):
+        eng = Engine()
+        times = []
+        for d in delays:
+            eng.schedule(d, lambda: times.append(eng.now))
+        eng.run()
+        assert times == sorted(times)

@@ -1,0 +1,41 @@
+"""Tests for the op trace collector."""
+
+from repro.sim.tracing import Trace
+
+
+def _fill(trace: Trace) -> None:
+    trace.record(0.0, 0, "t0", "read", 0x100, 2.0)
+    trace.record(2.0, 1, "t1", "write", 0x100, 20.0, "remote")
+    trace.record(5.0, 0, "t0", "poststore", 0x200, 25.0)
+
+
+class TestTrace:
+    def test_filters(self):
+        t = Trace()
+        _fill(t)
+        assert len(t.by_kind("read")) == 1
+        assert len(t.by_cell(0)) == 2
+        assert len(t.by_addr(0x100)) == 2
+
+    def test_capacity_drops(self):
+        t = Trace(capacity=2)
+        _fill(t)
+        assert len(t) == 2
+        assert t.dropped == 1
+
+    def test_dump_truncates(self):
+        t = Trace()
+        _fill(t)
+        dump = t.dump(limit=2)
+        assert "1 more" in dump
+
+    def test_record_str_format(self):
+        t = Trace()
+        _fill(t)
+        line = str(t.records[1])
+        assert "write" in line and "@0x100" in line and "[remote]" in line
+
+    def test_iteration(self):
+        t = Trace()
+        _fill(t)
+        assert [r.kind for r in t] == ["read", "write", "poststore"]

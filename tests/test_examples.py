@@ -1,0 +1,48 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Run as subprocesses so each example's ``__main__`` path, argument
+handling and printing are what is exercised — exactly what a user gets.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "all workers read a consistent sum" in out
+        assert "snarfs" in out
+
+    def test_barrier_tour(self):
+        out = run_example("barrier_tour.py", "8")
+        assert "tournament(M)" in out
+        assert "us/episode" in out
+
+    def test_cg_study(self):
+        out = run_example("cg_study.py")
+        assert "CG solve converged" in out
+        assert "Table 1 (reproduced)" in out
+        assert "poststore" in out
+
+    @pytest.mark.slow
+    def test_custom_machine(self):
+        out = run_example("custom_machine.py")
+        assert "stock (24 slots)" in out
+        assert "sub-cache" in out

@@ -1,0 +1,65 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.util.charts import ascii_chart
+
+
+@pytest.fixture
+def two_series():
+    return {
+        "counter": [(2, 40e-6), (8, 120e-6), (32, 490e-6)],
+        "tournament(M)": [(2, 50e-6), (8, 95e-6), (32, 140e-6)],
+    }
+
+
+class TestAsciiChart:
+    def test_contains_structure(self, two_series):
+        text = ascii_chart(two_series, title="Figure 4", x_label="P", y_label="s")
+        assert "Figure 4" in text
+        assert "(P)" in text
+        assert "*=counter" in text
+        assert "o=tournament(M)" in text
+
+    def test_markers_present(self, two_series):
+        text = ascii_chart(two_series)
+        # later series may overdraw a shared cell, so allow one overlap
+        assert text.count("*") >= 2 + 1  # points + legend
+        assert text.count("o") >= 3 + 1
+
+    def test_extremes_on_borders(self):
+        text = ascii_chart({"s": [(0, 0.0), (10, 1.0)]}, width=20, height=6)
+        rows = [line for line in text.splitlines() if "|" in line]
+        body = [line.split("|", 1)[1] for line in rows]
+        assert body[0].rstrip().endswith("*")  # max y at top-right
+        assert body[-1].lstrip().startswith("*")  # min y at bottom-left
+
+    def test_log_scale(self, two_series):
+        linear = ascii_chart(two_series)
+        logged = ascii_chart(two_series, log_y=True)
+        assert linear != logged
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"s": [(1, 0.0)]}, log_y=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"s": []})
+
+    def test_too_small_rejected(self, two_series):
+        with pytest.raises(ValueError):
+            ascii_chart(two_series, width=5)
+
+    def test_constant_series_ok(self):
+        text = ascii_chart({"flat": [(1, 2.0), (5, 2.0)]})
+        assert "flat" in text
+
+    def test_cli_chart_flag(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["ep", "--quick", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "(series view)" in out

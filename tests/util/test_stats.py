@@ -1,0 +1,81 @@
+"""Tests for the statistics helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import (
+    Summary,
+    geometric_mean,
+    linear_fit,
+    mean,
+    relative_error,
+    summarize,
+)
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestMeans:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == pytest.approx(2.0)
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e3), min_size=1, max_size=50))
+    def test_geometric_leq_arithmetic(self, xs):
+        assert geometric_mean(xs) <= mean(xs) + 1e-9
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        slope, intercept = linear_fit([0, 1, 2, 3], [5, 7, 9, 11])
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(5.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            linear_fit([1], [1])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            linear_fit([1, 2], [1, 2, 3])
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(11, 10) == pytest.approx(0.1)
+
+    def test_zero_reference_raises(self):
+        with pytest.raises(ValueError):
+            relative_error(1, 0)
+
+    @given(finite_floats, st.floats(min_value=0.1, max_value=1e6))
+    def test_non_negative(self, measured, reference):
+        assert relative_error(measured, reference) >= 0
+
+
+class TestSummarize:
+    def test_values(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s == Summary(n=3, mean=2.0, std=1.0, minimum=1.0, maximum=3.0)
+
+    def test_single_sample_std_zero(self):
+        assert summarize([5.0]).std == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str_contains_fields(self):
+        text = str(summarize([1.0, 2.0]))
+        assert "n=2" in text and "mean=" in text

@@ -1,0 +1,50 @@
+"""Tests for plain-text table rendering."""
+
+import pytest
+
+from repro.util.tables import Table
+
+
+class TestTable:
+    def test_alignment_and_headers(self):
+        t = Table(["P", "Speedup"])
+        t.add_row([1, 1.0])
+        t.add_row([32, 22.7593])
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("P")
+        assert "Speedup" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "22.7593" in text
+
+    def test_title(self):
+        t = Table(["a"], title="Table 1: CG")
+        t.add_row([1])
+        text = t.render()
+        assert text.splitlines()[0] == "Table 1: CG"
+        assert text.splitlines()[1].startswith("=")
+
+    def test_row_arity_checked(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_needs_columns(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_float_formatting_six_significant(self):
+        t = Table(["x"])
+        t.add_row([1638.85970])
+        assert "1638.86" in t.render()
+
+    def test_str_is_render(self):
+        t = Table(["x"])
+        t.add_row([1])
+        assert str(t) == t.render()
+
+    def test_non_numeric_cells(self):
+        t = Table(["name", "ok"])
+        t.add_row(["tournament(M)", True])
+        assert "tournament(M)" in t.render()
+        assert "True" in t.render()

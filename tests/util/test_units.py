@@ -1,0 +1,68 @@
+"""Tests for unit conversion helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.units import (
+    GIB,
+    KIB,
+    MIB,
+    bytes_per_second,
+    cycles_to_seconds,
+    format_bytes,
+    format_seconds,
+    seconds_to_cycles,
+)
+
+
+class TestCycleConversion:
+    def test_ksr1_cycle_is_50ns(self):
+        assert cycles_to_seconds(1, 20e6) == pytest.approx(50e-9)
+
+    def test_ksr2_cycle_is_25ns(self):
+        assert cycles_to_seconds(1, 40e6) == pytest.approx(25e-9)
+
+    def test_remote_latency_in_seconds(self):
+        # 175 cycles at 20 MHz = 8.75 microseconds (Figure 2's top line)
+        assert cycles_to_seconds(175, 20e6) == pytest.approx(8.75e-6)
+
+    @given(st.floats(min_value=1e-9, max_value=1e3), st.sampled_from([20e6, 40e6]))
+    def test_roundtrip(self, seconds, clock):
+        assert cycles_to_seconds(seconds_to_cycles(seconds, clock), clock) == pytest.approx(
+            seconds
+        )
+
+    def test_rejects_nonpositive_clock(self):
+        with pytest.raises(ValueError):
+            cycles_to_seconds(1, 0)
+        with pytest.raises(ValueError):
+            seconds_to_cycles(1, -5)
+
+
+class TestByteUnits:
+    def test_constants(self):
+        assert KIB == 1024
+        assert MIB == 1024**2
+        assert GIB == 1024**3
+
+    def test_bandwidth(self):
+        # the leaf ring moves 1 GB/s
+        assert bytes_per_second(1e9, 1.0) == pytest.approx(1e9)
+
+    def test_bandwidth_rejects_zero_time(self):
+        with pytest.raises(ValueError):
+            bytes_per_second(1, 0)
+
+
+class TestFormatting:
+    def test_format_bytes(self):
+        assert format_bytes(32 * MIB) == "32.0 MiB"
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(256 * KIB) == "256.0 KiB"
+
+    def test_format_seconds_scales(self):
+        assert format_seconds(8.75e-6) == "8.750 us"
+        assert format_seconds(0.009).endswith("ms")
+        assert format_seconds(2.5).endswith(" s")
+        assert format_seconds(3e-9).endswith("ns")
+        assert format_seconds(0) == "0 s"
