@@ -1,0 +1,32 @@
+"""Static-analysis and verification passes over the simulator.
+
+Three independent correctness substrates, all runnable from the
+``ksr-analyze`` CLI and from pytest:
+
+:mod:`repro.analysis.modelcheck`
+    Exhaustive reachability checking of an abstract ALLCACHE protocol
+    model (one subpage, 2-3 cells) extracted from the coherence layer.
+:mod:`repro.analysis.races`
+    Discrete-event determinism auditing: same-timestamp event pairs
+    touching shared protocol state, and tie-break perturbation runs.
+:mod:`repro.analysis.lint`
+    AST lint over ``src/repro`` forbidding sim-code hazards (wall-clock
+    time, stdlib ``random``, out-of-band coherence state mutation,
+    ``==`` on simulated-time floats).
+"""
+
+from repro.analysis.lint import LintViolation, lint_paths, lint_source
+from repro.analysis.modelcheck import CoherenceModel, ModelChecker, ModelCheckResult
+from repro.analysis.races import PerturbationReport, RaceAuditor, machine_fingerprint
+
+__all__ = [
+    "CoherenceModel",
+    "ModelChecker",
+    "ModelCheckResult",
+    "RaceAuditor",
+    "PerturbationReport",
+    "machine_fingerprint",
+    "LintViolation",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,238 @@
+"""AST lint for simulator-code hazards.
+
+The simulator's determinism and coherence guarantees rest on three
+coding rules that nothing in Python enforces:
+
+``KSR100`` — no wall-clock or stdlib randomness in simulator code.
+    Inside ``sim/``, ``machine/``, ``ring/``, ``coherence/`` and
+    ``sync/``, importing ``time``, ``random`` or ``datetime`` is
+    forbidden: all randomness must come from the seeded sub-streams of
+    :mod:`repro.util.rng`, and the only clock is the engine's.
+
+``KSR101`` — coherence state is mutated only by the protocol.
+    Calls that change a local cache's :class:`SubpageState`
+    (``set_state``/``fill``/``invalidate``/``snarf``/``drop`` on a
+    ``local_cache`` receiver, or writes into its ``_states`` table) are
+    allowed only in ``coherence/protocol.py``, ``coherence/ops.py`` and
+    ``memory/local_cache.py`` itself.  Anything else bypasses the
+    directory bookkeeping and desynchronizes the machine.
+
+``KSR102`` — no ``==``/``!=`` on simulated-time floats.
+    Simulation timestamps are floats accumulated from fractional ring
+    hops; exact equality is a latent bug.  Comparisons of time-named
+    attributes (``now``, ``completed_at``, ...) must use ordering or a
+    tolerance.
+
+The pass is a heuristic AST walk — aliasing a cache into a local
+variable can evade KSR101 — but it catches the direct spellings, which
+is what code review actually encounters.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+__all__ = ["LintViolation", "lint_source", "lint_paths", "repro_root"]
+
+#: Packages whose modules count as simulator code (KSR100).
+SIM_PACKAGES = ("sim", "machine", "ring", "coherence", "sync")
+#: Packages where simulated-time equality is checked (KSR102).
+TIME_EQ_PACKAGES = SIM_PACKAGES
+#: Modules allowed to mutate SubpageState (KSR101), relative to repro/.
+MUTATION_ALLOWED = frozenset(
+    {"coherence/protocol.py", "coherence/ops.py", "memory/local_cache.py"}
+)
+
+FORBIDDEN_MODULES = frozenset({"time", "random", "datetime"})
+MUTATOR_METHODS = frozenset({"set_state", "fill", "invalidate", "snarf", "drop"})
+TIME_ATTRS = frozenset(
+    {
+        "now",
+        "_now",
+        "time",
+        "completed_at",
+        "injected_at",
+        "completes_at",
+        "registered_at",
+        "enqueued_at",
+        "busy_until",
+    }
+)
+TIME_NAMES = frozenset({"now"})
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def _package_of(relpath: str) -> str:
+    """First path component of a module path like ``machine/cell.py``."""
+    return relpath.split("/", 1)[0] if "/" in relpath else ""
+
+
+def _attr_chain(node: ast.expr) -> list[str]:
+    """Names along an attribute chain, e.g. ``a.b.c()`` -> [a, b, c]."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return list(reversed(parts))
+
+
+def _is_time_operand(node: ast.expr) -> Optional[str]:
+    """The time-ish name a comparison operand exposes, if any."""
+    if isinstance(node, ast.Attribute) and node.attr in TIME_ATTRS:
+        return ".".join(_attr_chain(node))
+    if isinstance(node, ast.Name) and node.id in TIME_NAMES:
+        return node.id
+    return None
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, relpath: str):
+        self.relpath = relpath
+        package = _package_of(relpath)
+        self.check_imports = package in SIM_PACKAGES
+        self.check_mutation = relpath not in MUTATION_ALLOWED
+        self.check_time_eq = package in TIME_EQ_PACKAGES
+        self.violations: list[LintViolation] = []
+
+    def _flag(self, node: ast.AST, code: str, message: str) -> None:
+        self.violations.append(
+            LintViolation(self.relpath, node.lineno, node.col_offset, code, message)
+        )
+
+    # KSR100 ------------------------------------------------------------
+
+    def _check_import(self, node: ast.AST, module: Optional[str]) -> None:
+        root = (module or "").split(".", 1)[0]
+        if self.check_imports and root in FORBIDDEN_MODULES:
+            self._flag(
+                node,
+                "KSR100",
+                f"simulator code must not import '{root}': use "
+                "repro.util.rng for randomness and the engine clock for time",
+            )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._check_import(node, alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level == 0:  # relative imports can't reach the stdlib
+            self._check_import(node, node.module)
+        self.generic_visit(node)
+
+    # KSR101 ------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            self.check_mutation
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in MUTATOR_METHODS
+        ):
+            chain = _attr_chain(node.func)
+            if "local_cache" in chain[:-1]:
+                self._flag(
+                    node,
+                    "KSR101",
+                    f"SubpageState mutated outside the protocol: "
+                    f"{'.'.join(chain)}() — only coherence/protocol.py, "
+                    "coherence/ops.py and memory/local_cache.py may do this",
+                )
+        self.generic_visit(node)
+
+    def _check_states_store(self, target: ast.expr) -> None:
+        if (
+            isinstance(target, ast.Subscript)
+            and isinstance(target.value, ast.Attribute)
+            and target.value.attr == "_states"
+        ):
+            self._flag(
+                target,
+                "KSR101",
+                "direct write into a local cache's _states table — "
+                "mutate coherence state through the protocol instead",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self.check_mutation:
+            for target in node.targets:
+                self._check_states_store(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if self.check_mutation:
+            self._check_states_store(node.target)
+        self.generic_visit(node)
+
+    # KSR102 ------------------------------------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if self.check_time_eq:
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                for side in (left, right):
+                    name = _is_time_operand(side)
+                    if name is not None:
+                        self._flag(
+                            node,
+                            "KSR102",
+                            f"'==' on simulated-time float '{name}' — "
+                            "times accumulate fractional cycles; compare "
+                            "with ordering or a tolerance",
+                        )
+                        break
+        self.generic_visit(node)
+
+
+def lint_source(source: str, relpath: str) -> list[LintViolation]:
+    """Lint one module's source.
+
+    ``relpath`` is the module's path relative to the ``repro`` package
+    root (e.g. ``"machine/cell.py"``); it selects which rules apply.
+    """
+    tree = ast.parse(source, filename=relpath)
+    visitor = _Visitor(relpath.replace("\\", "/"))
+    visitor.visit(tree)
+    return visitor.violations
+
+
+def repro_root() -> Path:
+    """Directory of the installed ``repro`` package."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def lint_paths(root: Path | None = None) -> list[LintViolation]:
+    """Lint every module under ``root`` (default: the repro package)."""
+    base = Path(root) if root is not None else repro_root()
+    violations: list[LintViolation] = []
+    for path in sorted(base.rglob("*.py")):
+        relpath = path.relative_to(base).as_posix()
+        violations.extend(lint_source(path.read_text(encoding="utf-8"), relpath))
+    return violations
+
+
+def render_report(violations: Iterable[LintViolation]) -> str:
+    """One line per violation, stable order."""
+    return "\n".join(str(v) for v in violations)

@@ -1,0 +1,393 @@
+"""DES determinism and race auditing.
+
+The engine documents a strong property: *events scheduled for the same
+instant fire in scheduling order*, and every simulator outcome is a
+deterministic function of the configuration seed.  Code that
+accidentally depends on same-timestamp ordering (two callbacks at one
+instant mutating the same subpage's protocol state) still *runs*
+deterministically — it is just fragile: any refactor that reorders
+scheduling silently changes results.  This module makes such hidden
+ordering dependencies visible, two ways:
+
+:class:`RaceAuditor`
+    Attaches to a machine via the engine's opt-in ``audit_hook`` and a
+    recording proxy around the directory and the word store.  Flags
+    same-timestamp event pairs where at least one event *mutates*
+    subpage/directory state the other also touches — the pairs whose
+    relative order could matter.
+
+:func:`run_perturbed`
+    Re-runs a short experiment with same-instant tie-breaking shuffled
+    by a seeded RNG (``Engine.shuffle_same_time_ties``) and diffs the
+    final machine state against the FIFO baseline.  State divergence
+    means some outcome really did depend on tie-break order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+import numpy as np
+
+from repro.coherence.directory import Directory
+from repro.memory.address import subpage_of
+from repro.sim.engine import Engine, Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.machine.ksr import KsrMachine
+
+__all__ = [
+    "RaceAuditor",
+    "RaceFlag",
+    "PerturbationReport",
+    "run_perturbed",
+    "machine_fingerprint",
+    "diff_fingerprints",
+    "default_audit_workload",
+]
+
+
+# ----------------------------------------------------------------------
+# Same-timestamp conflict auditing
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _EventTouches:
+    """Subpages one fired event read/mutated."""
+
+    time: float
+    seq: int
+    label: str
+    reads: set[int] = field(default_factory=set)
+    writes: set[int] = field(default_factory=set)
+
+    def touched(self) -> set[int]:
+        return self.reads | self.writes
+
+
+@dataclass(frozen=True)
+class RaceFlag:
+    """Two same-instant events conflicting on one subpage's state."""
+
+    time: float
+    subpage_id: int
+    first: str
+    second: str
+
+    def __str__(self) -> str:
+        return (
+            f"t={self.time:.2f} subpage {self.subpage_id}: "
+            f"[{self.first}] and [{self.second}] conflict at the same instant"
+        )
+
+
+class _AuditedDirectory:
+    """Recording proxy over :class:`Directory` (same public surface)."""
+
+    _READERS = ("entry", "known", "responder_for", "state_in")
+    _MUTATORS = (
+        "record_fill_shared",
+        "record_fill_exclusive",
+        "demote_owner",
+        "invalidate_others",
+        "set_atomic",
+        "drop_copy",
+    )
+
+    def __init__(self, inner: Directory, auditor: "RaceAuditor"):
+        self._inner = inner
+        self._auditor = auditor
+
+    def __getattr__(self, name: str) -> Any:
+        attr = getattr(self._inner, name)
+        if name in self._READERS:
+            return self._wrap(attr, write=False)
+        if name in self._MUTATORS:
+            return self._wrap(attr, write=True)
+        return attr
+
+    def _wrap(self, method: Callable[..., Any], *, write: bool) -> Callable[..., Any]:
+        def recorded(subpage_id: int, *args: Any, **kwargs: Any) -> Any:
+            self._auditor.record(subpage_id, write=write)
+            return method(subpage_id, *args, **kwargs)
+
+        return recorded
+
+
+class RaceAuditor:
+    """Flags same-timestamp event pairs with conflicting state touches.
+
+    Usage::
+
+        machine = KsrMachine(config)
+        auditor = RaceAuditor()
+        auditor.install(machine)
+        ... spawn and run ...
+        for flag in auditor.report():
+            print(flag)
+
+    Reads of a subpage's state by two same-instant events are fine (they
+    commute); a pair where at least one event *mutates* state the other
+    touches is flagged — its outcome depends on the engine's FIFO
+    tie-breaking, which is exactly what a refactor can silently change.
+    """
+
+    def __init__(self) -> None:
+        self._group: list[_EventTouches] = []
+        self._group_time: Optional[float] = None
+        self._current: Optional[_EventTouches] = None
+        self._flags: list[RaceFlag] = []
+        self.n_events_audited = 0
+
+    # -- wiring ---------------------------------------------------------
+
+    def install(self, machine: "KsrMachine") -> "RaceAuditor":
+        """Attach to a machine (before running its workload)."""
+        self.install_on(machine.engine, machine.protocol)
+        return self
+
+    def install_on(self, engine: Engine, protocol: Any = None) -> "RaceAuditor":
+        """Lower-level attach: engine hook plus optional protocol wrap."""
+        engine.audit_hook = self._on_event
+        if protocol is not None:
+            protocol.directory = _AuditedDirectory(protocol.directory, self)
+            inner_poke = protocol.poke
+
+            def audited_poke(addr: int, value: Any) -> None:
+                self.record(subpage_of(addr), write=True)
+                inner_poke(addr, value)
+
+            protocol.poke = audited_poke
+        return self
+
+    # -- recording ------------------------------------------------------
+
+    def _on_event(self, event: Event) -> None:
+        if self._group_time is not None and event.time != self._group_time:
+            self._analyze_group()
+        self._group_time = event.time
+        label = getattr(event.callback, "__qualname__", repr(event.callback))
+        self._current = _EventTouches(event.time, event.seq, label)
+        self._group.append(self._current)
+        self.n_events_audited += 1
+
+    def record(self, subpage_id: int, *, write: bool) -> None:
+        """Note that the currently firing event touched ``subpage_id``."""
+        if self._current is None:
+            return  # outside any event (setup/teardown): not a race
+        if write:
+            self._current.writes.add(subpage_id)
+        else:
+            self._current.reads.add(subpage_id)
+
+    # -- analysis -------------------------------------------------------
+
+    def _analyze_group(self) -> None:
+        group, self._group = self._group, []
+        if len(group) < 2:
+            return
+        for i, a in enumerate(group):
+            for b in group[i + 1 :]:
+                conflicts = (a.writes & b.touched()) | (b.writes & a.touched())
+                for sp in sorted(conflicts):
+                    self._flags.append(
+                        RaceFlag(a.time, sp, f"{a.label}#{a.seq}", f"{b.label}#{b.seq}")
+                    )
+
+    def report(self) -> list[RaceFlag]:
+        """Close the trailing same-time group and return all flags."""
+        self._analyze_group()
+        self._group_time = None
+        self._current = None
+        return list(self._flags)
+
+
+# ----------------------------------------------------------------------
+# Tie-break perturbation harness
+# ----------------------------------------------------------------------
+
+
+def machine_fingerprint(machine: "KsrMachine") -> dict[str, Any]:
+    """Canonical digest of a finished machine's observable final state."""
+    protocol = machine.protocol
+    directory = protocol.directory
+    inner = getattr(directory, "_inner", directory)  # unwrap any audit proxy
+    dir_view = {
+        sp: (
+            entry.owner,
+            entry.atomic,
+            tuple(sorted(entry.sharers)),
+            tuple(sorted(entry.placeholders)),
+            entry.created,
+        )
+        for sp, entry in sorted(inner._entries.items())
+    }
+    caches = {
+        cell.cell_id: tuple(
+            sorted((sp, st.name) for sp, st in cell.local_cache._states.items())
+        )
+        for cell in machine.cells
+    }
+    return {
+        "values": dict(sorted(protocol.values.items())),
+        "directory": dir_view,
+        "caches": caches,
+        "now": machine.engine.now,
+    }
+
+
+def diff_fingerprints(base: dict[str, Any], other: dict[str, Any]) -> list[str]:
+    """Human-readable component-level differences (empty = identical)."""
+    out = []
+    for key in ("values", "directory", "caches", "now"):
+        if base[key] != other[key]:
+            out.append(f"{key} diverged: {base[key]!r} != {other[key]!r}")
+    return out
+
+
+@dataclass
+class PerturbationReport:
+    """Outcome of :func:`run_perturbed`."""
+
+    n_runs: int
+    baseline: dict[str, Any]
+    #: per perturbed run: list of component diffs against the baseline
+    divergences: list[list[str]]
+
+    @property
+    def data_deterministic(self) -> bool:
+        """Program-visible memory values identical in every run."""
+        return all(
+            not any(d.startswith("values ") for d in diffs)
+            for diffs in self.divergences
+        )
+
+    @property
+    def state_deterministic(self) -> bool:
+        """Final memory/directory/cache state identical in every run."""
+        return all(
+            not any(not d.startswith("now ") for d in diffs)
+            for diffs in self.divergences
+        )
+
+    @property
+    def timing_deterministic(self) -> bool:
+        """Final simulation clock identical in every run."""
+        return all(
+            not any(d.startswith("now ") for d in diffs) for diffs in self.divergences
+        )
+
+    def summary(self) -> str:
+        """One-paragraph human-readable result, divergences included."""
+        n_div = sum(1 for d in self.divergences if d)
+        status = "OK" if self.state_deterministic else "FAIL"
+        lines = [
+            f"perturbation[{self.n_runs} shuffled runs]: {status} — "
+            f"{n_div} run(s) diverged from the FIFO baseline"
+        ]
+        for i, diffs in enumerate(self.divergences):
+            for d in diffs:
+                lines.append(f"  run {i}: {d[:200]}")
+        return "\n".join(lines)
+
+
+def run_perturbed(
+    experiment: Callable[[Optional[np.random.Generator]], "KsrMachine"],
+    *,
+    n_runs: int = 4,
+    master_seed: int = 2026,
+) -> PerturbationReport:
+    """Diff an experiment's final state across shuffled tie-break runs.
+
+    ``experiment(tie_rng)`` must build a fresh machine, install
+    ``machine.engine.shuffle_same_time_ties(tie_rng)`` when ``tie_rng``
+    is not ``None`` (before spawning threads), run the workload to
+    completion and return the machine.  The ``None`` call is the FIFO
+    baseline.
+    """
+    baseline = machine_fingerprint(experiment(None))
+    divergences = []
+    for i in range(n_runs):
+        rng = np.random.default_rng([master_seed, i])
+        fp = machine_fingerprint(experiment(rng))
+        divergences.append(diff_fingerprints(baseline, fp))
+    return PerturbationReport(n_runs=n_runs, baseline=baseline, divergences=divergences)
+
+
+def default_audit_workload(
+    tie_rng: Optional[np.random.Generator] = None,
+    *,
+    n_cells: int = 4,
+    seed: int = 7,
+    audit: bool = False,
+    contended: bool = False,
+) -> tuple["KsrMachine", Optional[RaceAuditor]]:
+    """The canned short experiments ``ksr-analyze races`` runs.
+
+    Each cell writes and reads back its own words, then increments one
+    lock-protected counter three times.  With ``contended=False`` the
+    lock phases are staggered far apart, so the whole run is race-free
+    by construction and must be fully deterministic under tie shuffling.
+    With ``contended=True`` all cells fight for the lock at once: the
+    counter total stays correct (data-deterministic), but *which* cell
+    ends up caching the counter subpage legitimately depends on grant
+    order — the nondeterminism the auditor exists to surface.
+
+    Returns the finished machine and, when ``audit`` is set, the
+    installed auditor.
+    """
+    from repro.machine.api import SharedMemory
+    from repro.machine.config import MachineConfig, TimerConfig
+    from repro.machine.ksr import KsrMachine
+    from repro.sim.process import Compute, GetSubpage, Read, ReleaseSubpage, Write
+
+    config = MachineConfig.ksr1(
+        n_cells=n_cells, seed=seed, timer=TimerConfig(enabled=False)
+    )
+    machine = KsrMachine(config)
+    if tie_rng is not None:
+        machine.engine.shuffle_same_time_ties(tie_rng)
+    auditor = RaceAuditor().install(machine) if audit else None
+    mem = SharedMemory(machine)
+    own = [mem.array(f"own{i}", 4) for i in range(n_cells)]
+    lock = mem.alloc_word()
+    counter = mem.alloc_word()
+
+    def body(pid: int):
+        for k in range(4):
+            yield Write(own[pid].addr(k), pid * 100 + k)
+            yield Compute(5 + 3 * pid)
+        for k in range(4):
+            v = yield Read(own[pid].addr(k))
+            assert v == pid * 100 + k
+        if not contended:
+            # Disjoint time windows: no two cells ever contend.
+            yield Compute(20_000.0 * pid)
+        for _ in range(3):
+            yield GetSubpage(lock)
+            v = yield Read(counter)
+            yield Write(counter, v + 1)
+            yield ReleaseSubpage(lock)
+
+    for pid in range(n_cells):
+        machine.spawn(f"audit-{pid}", body(pid), pid)
+    machine.run()
+    return machine, auditor
+
+
+def perturbed_default_workload(
+    tie_rng: Optional[np.random.Generator],
+) -> "KsrMachine":
+    """Adapter for :func:`run_perturbed` over the race-free workload."""
+    machine, _ = default_audit_workload(tie_rng)
+    return machine
+
+
+def perturbed_contended_workload(
+    tie_rng: Optional[np.random.Generator],
+) -> "KsrMachine":
+    """Adapter for :func:`run_perturbed` over the contended workload."""
+    machine, _ = default_audit_workload(tie_rng, contended=True)
+    return machine

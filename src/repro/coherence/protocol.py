@@ -30,7 +30,7 @@ Timing conventions
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.coherence.directory import Directory
@@ -473,7 +473,7 @@ class CoherenceProtocol:
         if entry.atomic:
             # Cannot revalidate while someone holds the subpage atomic;
             # retry after the gate clears.
-            refetch = self._refetch.pop(subpage_id, None)
+            self._refetch.pop(subpage_id, None)
             self.engine.schedule(
                 self.config.ring.circuit_cycles,
                 lambda: self.notify_write(subpage_id, writer, self.engine.now),

@@ -16,7 +16,7 @@ from repro.machine.api import SharedMemory
 from repro.machine.config import MachineConfig, TimerConfig
 from repro.machine.ksr import KsrMachine
 from repro.sim.process import LocalOps
-from repro.sync.barriers import BARRIER_REGISTRY, make_barrier
+from repro.sync.barriers import make_barrier
 
 __all__ = ["measure_barrier", "run_figure4", "run_figure5", "DEFAULT_ALGORITHMS"]
 

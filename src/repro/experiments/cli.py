@@ -12,12 +12,18 @@ Examples::
 
 from __future__ import annotations
 
-import argparse
 import sys
 import time
 from typing import Callable
 
 from repro.experiments.base import ExperimentResult
+from repro.util.cli import (
+    build_parser,
+    install_sigpipe_handler,
+    print_unknown,
+    resolve_selection,
+    write_report,
+)
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -152,24 +158,14 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point of ``ksr-experiments``."""
-    # behave like a well-mannered unix tool when piped into head(1)
-    try:
-        import signal
-
-        signal.signal(signal.SIGPIPE, signal.SIG_DFL)
-    except (ImportError, AttributeError, ValueError):  # pragma: no cover
-        pass  # non-posix platform or non-main thread
-    parser = argparse.ArgumentParser(
-        prog="ksr-experiments",
-        description="Reproduce the tables and figures of 'Scalability "
+    install_sigpipe_handler()
+    parser = build_parser(
+        "ksr-experiments",
+        "Reproduce the tables and figures of 'Scalability "
         "Study of the KSR-1' on the simulated machine.",
+        positional="experiments",
+        positional_help="experiment ids (see --list), or 'all'",
     )
-    parser.add_argument(
-        "experiments",
-        nargs="*",
-        help="experiment ids (see --list), or 'all'",
-    )
-    parser.add_argument("--list", action="store_true", help="list experiment ids")
     parser.add_argument(
         "--quick", action="store_true", help="smaller sweeps for a fast look"
     )
@@ -177,11 +173,6 @@ def main(argv: list[str] | None = None) -> int:
         "--full",
         action="store_true",
         help="paper-size problems (slower; affects fig3/tab1/tab2/tab3/tab4)",
-    )
-    parser.add_argument(
-        "--output",
-        metavar="FILE",
-        help="also write the rendered report to FILE (markdown-friendly)",
     )
     parser.add_argument(
         "--chart",
@@ -193,11 +184,9 @@ def main(argv: list[str] | None = None) -> int:
         for key, (title, _) in EXPERIMENTS.items():
             print(f"{key:14s} {title}")
         return 0
-    wanted = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
-    unknown = [e for e in wanted if e not in EXPERIMENTS]
+    wanted, unknown = resolve_selection(args.experiments, EXPERIMENTS)
     if unknown:
-        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
-        return 2
+        return print_unknown(unknown, "experiment")
     sections: list[str] = []
     for key in wanted:
         title, runner = EXPERIMENTS[key]
@@ -219,10 +208,7 @@ def main(argv: list[str] | None = None) -> int:
         print()
         sections.append(f"```\n{rendered}\n```\n_completed in {elapsed:.1f}s_\n")
     if args.output:
-        with open(args.output, "w", encoding="utf-8") as fh:
-            fh.write("# ksr-experiments report\n\n")
-            fh.write("\n".join(sections))
-        print(f"report written to {args.output}")
+        write_report(args.output, "ksr-experiments report", sections)
     return 0
 
 

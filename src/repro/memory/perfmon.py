@@ -13,7 +13,7 @@ climb with processor count).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 
 __all__ = ["PerfMonitor"]
 

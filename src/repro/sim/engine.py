@@ -4,12 +4,19 @@ Time is a float, measured in CPU cycles of the simulated machine
 (fractional cycles arise from ring hop times).  Events scheduled for
 the same instant fire in scheduling order, which keeps runs
 deterministic without any reliance on heap tie-breaking.
+
+Two opt-in hooks support the determinism auditing in
+:mod:`repro.analysis.races`: :attr:`Engine.audit_hook` observes every
+event just before it fires, and :meth:`Engine.shuffle_same_time_ties`
+replaces the same-instant FIFO order with a seeded random order so a
+harness can detect outcomes that depend on tie-breaking.  Neither hook
+affects a run unless explicitly installed.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
 
@@ -23,21 +30,31 @@ class Event:
     skips it when it surfaces.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "tie")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple,
+        tie: float | None = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        #: Same-instant ordering key; equals ``seq`` (FIFO) unless the
+        #: engine is shuffling ties for a determinism audit.
+        self.tie = float(seq) if tie is None else tie
 
     def cancel(self) -> None:
         """Prevent this event from firing (no-op if already fired)."""
         self.cancelled = True
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        return (self.time, self.tie, self.seq) < (other.time, other.tie, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         name = getattr(self.callback, "__qualname__", repr(self.callback))
@@ -61,6 +78,22 @@ class Engine:
         self._now = 0.0
         self._seq = 0
         self._n_fired = 0
+        self._tie_rng: Any = None
+        #: Opt-in observer called with each event just before it fires
+        #: (see :mod:`repro.analysis.races`).  ``None`` in normal runs.
+        self.audit_hook: Optional[Callable[[Event], None]] = None
+
+    def shuffle_same_time_ties(self, rng: Any) -> None:
+        """Order same-instant events randomly (seeded) instead of FIFO.
+
+        ``rng`` is anything with a ``random()`` method (e.g.
+        ``numpy.random.Generator``).  Install it *before* scheduling the
+        workload; events already queued keep their FIFO keys.  This
+        deliberately breaks the documented same-instant ordering so the
+        determinism auditor can expose tie-break-dependent outcomes —
+        never use it in a measurement run.
+        """
+        self._tie_rng = rng
 
     @property
     def now(self) -> float:
@@ -81,7 +114,8 @@ class Engine:
         """Schedule ``callback(*args)`` to run ``delay`` cycles from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        event = Event(self._now + delay, self._seq, callback, args)
+        tie = float(self._tie_rng.random()) if self._tie_rng is not None else None
+        event = Event(self._now + delay, self._seq, callback, args, tie)
         self._seq += 1
         heapq.heappush(self._queue, event)
         return event
@@ -102,6 +136,8 @@ class Engine:
                 )
             self._now = event.time
             self._n_fired += 1
+            if self.audit_hook is not None:
+                self.audit_hook(event)
             event.callback(*event.args)
             return True
         return False

@@ -17,7 +17,6 @@ from typing import Any, Generator
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.machine.api import SharedMemory
 from repro.machine.ksr import KsrMachine
 from repro.sim.process import LocalOps, Op
 from repro.util.rng import derive_rng

@@ -1,0 +1,64 @@
+"""``ksr-analyze`` drives all three passes and reports via exit status."""
+
+from __future__ import annotations
+
+from repro.analysis.cli import PASSES, main
+from repro.experiments.cli import main as experiments_main
+
+
+class TestKsrAnalyze:
+    def test_list_names_every_pass(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for key in PASSES:
+            assert key in out
+
+    def test_unknown_pass_exits_2(self, capsys):
+        assert main(["no-such-pass"]) == 2
+        assert "no-such-pass" in capsys.readouterr().err
+
+    def test_modelcheck_pass_is_clean(self, capsys):
+        assert main(["modelcheck", "--cells", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "15 states" in out
+
+    def test_lint_pass_is_clean(self, capsys):
+        assert main(["lint"]) == 0
+        assert "0 violation(s)" in capsys.readouterr().out
+
+    def test_races_pass_is_clean(self, capsys):
+        assert main(["races", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "audit[race-free workload]: OK" in out
+
+    def test_default_selection_runs_everything(self, capsys):
+        assert main(["--cells", "2", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "audit[race-free workload]" in out
+        assert "lint[src/repro]" in out
+        assert "states" in out
+
+    def test_degenerate_cell_count_is_a_clean_error(self, capsys):
+        assert main(["modelcheck", "--cells", "1"]) == 2
+        err = capsys.readouterr().err
+        assert "at least 2 cells" in err and "Traceback" not in err
+
+    def test_output_writes_markdown_report(self, tmp_path, capsys):
+        report = tmp_path / "analysis.md"
+        assert main(["lint", "--output", str(report)]) == 0
+        capsys.readouterr()
+        text = report.read_text()
+        assert text.startswith("# ksr-analyze report")
+        assert "## lint" in text
+
+
+class TestSharedCliHelpers:
+    """ksr-experiments rides on the same repro.util.cli helpers."""
+
+    def test_experiments_list_still_works(self, capsys):
+        assert experiments_main(["--list"]) == 0
+        assert "fig2" in capsys.readouterr().out
+
+    def test_experiments_unknown_id_exits_2(self, capsys):
+        assert experiments_main(["not-an-experiment"]) == 2
+        assert "not-an-experiment" in capsys.readouterr().err

@@ -1,0 +1,138 @@
+"""Each forbidden pattern is flagged; the real tree is clean."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis.lint import (
+    LintViolation,
+    lint_paths,
+    lint_source,
+    render_report,
+)
+
+
+def _lint(source: str, relpath: str = "sim/engine.py") -> list[LintViolation]:
+    return lint_source(textwrap.dedent(source), relpath)
+
+
+def _codes(violations: list[LintViolation]) -> list[str]:
+    return [v.code for v in violations]
+
+
+class TestKSR100WallClockImports:
+    @pytest.mark.parametrize("module", ["time", "random", "datetime"])
+    def test_plain_import_is_flagged(self, module):
+        flags = _lint(f"import {module}\n")
+        assert _codes(flags) == ["KSR100"]
+        assert module in flags[0].message
+
+    def test_from_import_is_flagged(self):
+        assert _codes(_lint("from time import monotonic\n")) == ["KSR100"]
+
+    def test_submodule_import_is_flagged(self):
+        assert _codes(_lint("import datetime.timezone\n")) == ["KSR100"]
+
+    def test_import_inside_function_is_flagged(self):
+        flags = _lint(
+            """
+            def jitter():
+                import random
+                return random.random()
+            """
+        )
+        assert _codes(flags) == ["KSR100"]
+
+    @pytest.mark.parametrize(
+        "relpath", ["util/stats.py", "experiments/cli.py", "analysis/lint.py"]
+    )
+    def test_non_sim_packages_may_import_time(self, relpath):
+        assert _lint("import time\n", relpath) == []
+
+    def test_lookalike_modules_are_not_flagged(self):
+        assert _lint("import timeit\nfrom randomish import x\n") == []
+
+    def test_relative_imports_are_not_flagged(self):
+        assert _lint("from .time import Clock\n", "sim/engine.py") == []
+
+
+class TestKSR101StateMutation:
+    def test_mutator_call_on_local_cache_is_flagged(self):
+        flags = _lint(
+            "cell.local_cache.set_state(sp, SubpageState.EXCLUSIVE)\n",
+            "machine/cell.py",
+        )
+        assert _codes(flags) == ["KSR101"]
+        assert "protocol" in flags[0].message
+
+    @pytest.mark.parametrize(
+        "method", ["set_state", "fill", "invalidate", "snarf", "drop"]
+    )
+    def test_every_mutator_method_is_covered(self, method):
+        flags = _lint(f"self.local_cache.{method}(sp)\n", "ring/hierarchy.py")
+        assert _codes(flags) == ["KSR101"]
+
+    def test_states_table_store_is_flagged(self):
+        flags = _lint(
+            "cache._states[sp] = SubpageState.INVALID\n", "machine/cell.py"
+        )
+        assert _codes(flags) == ["KSR101"]
+
+    def test_states_table_augmented_store_is_flagged(self):
+        flags = _lint("cache._states[sp] |= bit\n", "machine/cell.py")
+        assert _codes(flags) == ["KSR101"]
+
+    @pytest.mark.parametrize(
+        "relpath",
+        ["coherence/protocol.py", "coherence/ops.py", "memory/local_cache.py"],
+    )
+    def test_protocol_modules_may_mutate(self, relpath):
+        src = "self.local_cache.set_state(sp, s)\ncache._states[sp] = s\n"
+        assert _lint(src, relpath) == []
+
+    def test_mutator_names_on_other_receivers_pass(self):
+        # "drop"/"fill" are common verbs; only cache receivers count
+        assert _lint("queue.drop(item)\nbuffer.fill(0)\n", "sim/engine.py") == []
+
+
+class TestKSR102TimeEquality:
+    def test_eq_on_now_attribute_is_flagged(self):
+        flags = _lint("if engine.now == deadline:\n    pass\n")
+        assert _codes(flags) == ["KSR102"]
+        assert "tolerance" in flags[0].message
+
+    def test_neq_is_flagged_too(self):
+        assert _codes(_lint("ok = msg.completed_at != t\n")) == ["KSR102"]
+
+    def test_bare_now_name_is_flagged(self):
+        assert _codes(_lint("if now == 0.0:\n    pass\n")) == ["KSR102"]
+
+    def test_chained_comparison_hits_each_eq(self):
+        flags = _lint("assert a.injected_at == b.injected_at == t\n")
+        assert _codes(flags) == ["KSR102", "KSR102"]
+
+    def test_ordering_comparisons_pass(self):
+        src = "if engine.now >= deadline or msg.completes_at < t:\n    pass\n"
+        assert _lint(src) == []
+
+    def test_non_time_names_pass(self):
+        assert _lint("if a.count == b.count:\n    pass\n") == []
+
+    def test_non_sim_packages_are_exempt(self):
+        assert _lint("if engine.now == 0.0:\n    pass\n", "util/stats.py") == []
+
+
+class TestTreeAndReport:
+    def test_real_tree_is_clean(self):
+        assert lint_paths() == []
+
+    def test_render_report_formats_location(self):
+        flags = _lint("import time\n", "sim/engine.py")
+        report = render_report(flags)
+        assert report.startswith("sim/engine.py:1:0: KSR100")
+
+    def test_syntax_error_propagates(self):
+        with pytest.raises(SyntaxError):
+            lint_source("def broken(:\n", "sim/engine.py")

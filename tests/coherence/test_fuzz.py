@@ -15,7 +15,6 @@ Checks after every fuzzed run:
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.machine.api import SharedMemory

@@ -10,6 +10,12 @@ from repro.errors import ConfigError
 skew = st.floats(min_value=0.0, max_value=600.0)
 seeds = st.integers(min_value=0, max_value=10_000)
 
+# Three-way skew grid: simultaneous start, a sub-ring-hop nudge, and a
+# skew longer than a full remote miss.  The exhaustive product covers
+# every alignment class of the racing threads.
+GRID = (0.0, 40.0, 350.0)
+grid_skew = st.sampled_from(GRID)
+
 
 class TestBaseline:
     @pytest.mark.parametrize("name", sorted(ALL_LITMUS))
@@ -48,6 +54,40 @@ class TestFuzzedInterleavings:
     @settings(max_examples=15, deadline=None)
     @given(s0=skew, s1=skew, s2=skew, s3=skew, seed=seeds)
     def test_iriw_never_forbidden(self, s0, s1, s2, s3, seed):
+        assert not run_iriw(skews=(s0, s1, s2, s3), seed=seed).forbidden
+
+
+class TestSkewGrids:
+    """Exhaustive 3-way skew grids for the multi-thread litmus tests.
+
+    Unlike the random fuzz above, these enumerate the full cartesian
+    product of grid skews, so every start-order permutation and every
+    tie is exercised deterministically on every run.
+    """
+
+    @pytest.mark.parametrize("s0", GRID)
+    @pytest.mark.parametrize("s1", GRID)
+    def test_lb_grid_never_forbidden(self, s0, s1):
+        outcome = run_lb(skews=(s0, s1))
+        assert not outcome.forbidden, (s0, s1, outcome)
+
+    @pytest.mark.parametrize("s0", GRID)
+    @pytest.mark.parametrize("s1", GRID)
+    @pytest.mark.parametrize("s2", GRID)
+    @pytest.mark.parametrize("s3", GRID)
+    def test_iriw_grid_never_forbidden(self, s0, s1, s2, s3):
+        outcome = run_iriw(skews=(s0, s1, s2, s3))
+        assert not outcome.forbidden, (s0, s1, s2, s3, outcome)
+
+    @settings(max_examples=30, deadline=None)
+    @given(s0=grid_skew, s1=grid_skew, seed=seeds)
+    def test_lb_grid_points_stable_across_seeds(self, s0, s1, seed):
+        # grid alignments are the adversarial cases; vary the seed there
+        assert not run_lb(skews=(s0, s1), seed=seed).forbidden
+
+    @settings(max_examples=30, deadline=None)
+    @given(s0=grid_skew, s1=grid_skew, s2=grid_skew, s3=grid_skew, seed=seeds)
+    def test_iriw_grid_points_stable_across_seeds(self, s0, s1, s2, s3, seed):
         assert not run_iriw(skews=(s0, s1, s2, s3), seed=seed).forbidden
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import AllocationError, MemoryModelError
-from repro.machine.api import SharedArray, SharedMemory, run_threads
+from repro.machine.api import SharedMemory, run_threads
 from repro.machine.config import PAGE_BYTES, SUBPAGE_BYTES
 from repro.machine.ksr import KsrMachine
 from repro.sim.process import Compute, Read, Write

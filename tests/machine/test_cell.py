@@ -3,7 +3,7 @@
 import pytest
 
 from repro.machine.api import SharedMemory
-from repro.machine.config import BLOCK_BYTES, MachineConfig, TimerConfig, SUBPAGE_BYTES
+from repro.machine.config import BLOCK_BYTES, MachineConfig, TimerConfig
 from repro.machine.ksr import KsrMachine
 from repro.sim.process import Compute, LocalOps, Read, Write
 from tests.conftest import quiet_ksr1
