@@ -10,12 +10,19 @@ Run with::
     pytest benchmarks/ --benchmark-only
 
 Pass ``--paper-size`` to regenerate the kernel tables at the paper's
-full problem sizes (slower).
+full problem sizes (slower), and ``--jobs N`` to fan independent sweep
+points across worker processes (the reproduced numbers are identical;
+only the wall time changes).  The on-disk result cache is *disabled*
+here by default — a benchmark served from ``.ksr-cache/`` would time
+the cache, not the simulator — pass ``--use-cache`` to opt in when you
+only care about the printed tables.
 """
 
 from __future__ import annotations
 
 import pytest
+
+from repro.experiments.sweep import ResultCache, SweepRunner
 
 
 def pytest_addoption(parser):
@@ -25,12 +32,31 @@ def pytest_addoption(parser):
         default=False,
         help="run kernel benchmarks at the paper's full problem sizes",
     )
+    parser.addoption(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep-style benchmarks (same numbers, less wall time)",
+    )
+    parser.addoption(
+        "--use-cache",
+        action="store_true",
+        default=False,
+        help="serve sweep points from .ksr-cache/ (times the cache, not the simulator)",
+    )
 
 
 @pytest.fixture(scope="session")
 def paper_size(request) -> bool:
     """Whether to use full problem sizes."""
     return request.config.getoption("--paper-size")
+
+
+@pytest.fixture(scope="session")
+def sweep_runner(request) -> SweepRunner:
+    """Sweep runner honouring ``--jobs`` / ``--use-cache``."""
+    cache = ResultCache.default() if request.config.getoption("--use-cache") else None
+    return SweepRunner(jobs=request.config.getoption("--jobs"), cache=cache)
 
 
 @pytest.fixture

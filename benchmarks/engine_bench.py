@@ -1,0 +1,64 @@
+"""Engine throughput meter: events/sec on the Fig. 3 lock workload.
+
+The acceptance workload for the simulator fast path: 32 processors
+fighting over one hardware exclusive lock (the paper's Figure 3 point
+with the most ring traffic), measured by the engine's own
+``Engine.stats`` counter.  Usable two ways::
+
+    python benchmarks/engine_bench.py                  # print the numbers
+    python benchmarks/engine_bench.py --out bench.json # also write JSON
+
+The JSON shape matches the committed ``BENCH_engine.json`` history file
+at the repository root, so a new measurement can be appended verbatim.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.machine.api import SharedMemory
+from repro.machine.config import MachineConfig
+from repro.machine.ksr import KsrMachine
+from repro.sync.locks import HardwareExclusiveLock, LockWorkloadParams, run_lock_workload
+
+#: The measured workload, stated once so the history stays comparable.
+WORKLOAD = "fig3 hardware-lock workload: 32 procs, 30 ops/proc, seed 303"
+
+
+def measure(n_procs: int = 32, ops: int = 30, seed: int = 303) -> dict:
+    """Run the workload once and return the engine's throughput stats."""
+    machine = KsrMachine(MachineConfig.ksr1(n_cells=n_procs, seed=seed))
+    mem = SharedMemory(machine)
+    lock = HardwareExclusiveLock(mem)
+    params = LockWorkloadParams(ops_per_processor=ops, read_fraction=0.0, seed=seed)
+    run_lock_workload(machine, lock, params, n_threads=n_procs)
+    stats = machine.engine.stats
+    return {
+        "workload": WORKLOAD,
+        "events": stats.events_fired,
+        "wall_seconds": round(stats.wall_seconds, 4),
+        "events_per_sec": round(stats.events_per_sec),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", metavar="FILE", help="write the measurement as JSON")
+    args = parser.parse_args(argv)
+    record = measure()
+    print(
+        f"{record['events']} events in {record['wall_seconds']:.2f}s "
+        f"= {record['events_per_sec']} events/sec"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=2)
+            fh.write("\n")
+        print(f"written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

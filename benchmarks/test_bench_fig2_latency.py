@@ -3,9 +3,9 @@
 from repro.experiments.latency import run_figure2
 
 
-def test_bench_fig2_latency(benchmark, show):
+def test_bench_fig2_latency(benchmark, show, sweep_runner):
     result = benchmark.pedantic(
-        lambda: run_figure2(proc_counts=[1, 2, 8, 16, 32], samples=500),
+        lambda: run_figure2(proc_counts=[1, 2, 8, 16, 32], samples=500, runner=sweep_runner),
         rounds=1,
         iterations=1,
     )

@@ -3,10 +3,10 @@
 from repro.experiments.locks import run_figure3
 
 
-def test_bench_fig3_locks(benchmark, show, paper_size):
+def test_bench_fig3_locks(benchmark, show, paper_size, sweep_runner):
     ops = 500 if paper_size else 60
     result = benchmark.pedantic(
-        lambda: run_figure3(proc_counts=[2, 8, 16, 32], ops=ops),
+        lambda: run_figure3(proc_counts=[2, 8, 16, 32], ops=ops, runner=sweep_runner),
         rounds=1,
         iterations=1,
     )

@@ -3,9 +3,9 @@
 from repro.experiments.barriers import run_figure4
 
 
-def test_bench_fig4_barriers(benchmark, show):
+def test_bench_fig4_barriers(benchmark, show, sweep_runner):
     result = benchmark.pedantic(
-        lambda: run_figure4(proc_counts=[2, 4, 8, 16, 32], reps=8),
+        lambda: run_figure4(proc_counts=[2, 4, 8, 16, 32], reps=8, runner=sweep_runner),
         rounds=1,
         iterations=1,
     )

@@ -392,6 +392,12 @@ class CoherenceProtocol:
         waiter = _AtomicWaiter(cell_id, retry, is_gsp=want_atomic, enqueued_at=now)
         self._atomic_waiters.setdefault(subpage_id, []).append(waiter)
         interval = self.config.ring.circuit_cycles * self.GSP_RETRY_CIRCUITS
+        # Hot path under lock contention: most events of a contended run
+        # are these retries, so bind everything the closure touches once.
+        perfmon = cell.perfmon
+        engine = self.engine
+        schedule = engine.schedule
+        transact = self.hierarchy.transact
 
         def hardware_retry() -> None:
             # The request circulates, is refused, and will try again.
@@ -399,14 +405,15 @@ class CoherenceProtocol:
             # retry is self-clocked by this packet's own completion —
             # under saturation retries space out to the ring's actual
             # service rate instead of piling bookings into the future.
-            cell.perfmon.get_subpage_retries += 1
-            timing = self.hierarchy.transact(self.engine.now, cell_id, None, subpage_id)
-            cell.perfmon.ring_transactions += 1
-            cell.perfmon.ring_cycles += timing.total_cycles
-            next_delay = max(interval, timing.completed_at - self.engine.now)
-            waiter.retry_event = self.engine.schedule(next_delay, hardware_retry)
+            perfmon.get_subpage_retries += 1
+            at = engine.now
+            timing = transact(at, cell_id, None, subpage_id)
+            perfmon.ring_transactions += 1
+            perfmon.ring_cycles += timing.completed_at - at
+            next_delay = max(interval, timing.completed_at - at)
+            waiter.retry_event = schedule(next_delay, hardware_retry)
 
-        waiter.retry_event = self.engine.schedule(interval, hardware_retry)
+        waiter.retry_event = schedule(interval, hardware_retry)
 
     def _drain_atomic_waiters(self, subpage_id: int, releaser: int, now: float) -> None:
         waiters = self._atomic_waiters.get(subpage_id)

@@ -12,13 +12,21 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.experiments.base import ExperimentResult
+from repro.experiments.sweep import SweepRunner
 from repro.machine.api import SharedMemory
 from repro.machine.config import MachineConfig, TimerConfig
 from repro.machine.ksr import KsrMachine
 from repro.sim.process import LocalOps
 from repro.sync.barriers import make_barrier
 
-__all__ = ["measure_barrier", "run_figure4", "run_figure5", "DEFAULT_ALGORITHMS"]
+__all__ = [
+    "measure_barrier",
+    "figure4_point",
+    "figure5_point",
+    "run_figure4",
+    "run_figure5",
+    "DEFAULT_ALGORITHMS",
+]
 
 DEFAULT_ALGORITHMS = [
     "system",
@@ -78,26 +86,51 @@ def measure_barrier(
     return machine.config.seconds(float(np.mean(durations)))
 
 
+def figure4_point(name: str, n_procs: int, reps: int, seed: int) -> float:
+    """One (algorithm, P) point of Figure 4 on a P-cell KSR-1.
+
+    Module-level (and scalar-argued) so a :class:`SweepRunner` can ship
+    it to worker processes and cache it by value.
+    """
+    config = MachineConfig.ksr1(n_cells=n_procs, seed=seed, timer=TimerConfig(enabled=False))
+    return measure_barrier(name, n_procs, machine_config=config, reps=reps, seed=seed)
+
+
+def figure5_point(name: str, n_procs: int, reps: int, seed: int) -> float:
+    """One (algorithm, P) point of Figure 5 on a two-ring KSR-2."""
+    config = MachineConfig.ksr2(
+        n_cells=max(n_procs, 33), seed=seed, timer=TimerConfig(enabled=False)
+    )
+    return measure_barrier(name, n_procs, machine_config=config, reps=reps, seed=seed)
+
+
 def _run_sweep(
     experiment_id: str,
     title: str,
     proc_counts: list[int],
-    config_for: "callable",
+    point_func: "callable",
     algorithms: list[str],
     reps: int,
     seed: int,
+    runner: SweepRunner | None,
 ) -> ExperimentResult:
+    if runner is None:
+        runner = SweepRunner()
     result = ExperimentResult(
         experiment_id=experiment_id,
         title=title,
         headers=["P"] + algorithms,
     )
+    calls = [
+        dict(name=name, n_procs=p, reps=reps, seed=seed)
+        for p in proc_counts
+        for name in algorithms
+    ]
+    values = iter(runner.map(point_func, calls))
     for p in proc_counts:
         row: list = [p]
         for name in algorithms:
-            t = measure_barrier(
-                name, p, machine_config=config_for(p), reps=reps, seed=seed
-            )
+            t = next(values)
             row.append(t * 1e6)  # microseconds, like the figures' axis scale
             result.add_series_point(name, p, t)
         result.add_row(row)
@@ -110,6 +143,7 @@ def run_figure4(
     algorithms: list[str] | None = None,
     reps: int = 10,
     seed: int = 404,
+    runner: SweepRunner | None = None,
 ) -> ExperimentResult:
     """Figure 4: the nine barriers on a 32-node KSR-1 (microseconds)."""
     if proc_counts is None:
@@ -120,10 +154,11 @@ def run_figure4(
         "FIG4",
         "Barrier performance on the 32-node KSR-1 (us per episode)",
         proc_counts,
-        lambda p: MachineConfig.ksr1(n_cells=p, seed=seed, timer=TimerConfig(enabled=False)),
+        figure4_point,
         algorithms,
         reps,
         seed,
+        runner,
     )
     _order_notes(result)
     return result
@@ -135,6 +170,7 @@ def run_figure5(
     algorithms: list[str] | None = None,
     reps: int = 10,
     seed: int = 404,
+    runner: SweepRunner | None = None,
 ) -> ExperimentResult:
     """Figure 5: the nine barriers on a 64-node, two-ring KSR-2."""
     if proc_counts is None:
@@ -145,12 +181,11 @@ def run_figure5(
         "FIG5",
         "Barrier performance on the 64-node KSR-2 (us per episode)",
         proc_counts,
-        lambda p: MachineConfig.ksr2(
-            n_cells=max(p, 33), seed=seed, timer=TimerConfig(enabled=False)
-        ),
+        figure5_point,
         algorithms,
         reps,
         seed,
+        runner,
     )
     _order_notes(result)
     crossing = [p for p in result.column("P") if p > 32]

@@ -7,7 +7,14 @@ Examples::
     ksr-experiments --list
     ksr-experiments fig4 tab1
     ksr-experiments all --quick
+    ksr-experiments all --quick --jobs 8   # fan sweep points across processes
     ksr-experiments tab1 tab2 --full       # paper-size problems
+    ksr-experiments all --no-cache         # ignore .ksr-cache/ results
+
+Parallel runs are deterministic: every sweep point re-derives its RNG
+streams from its own arguments, so ``--jobs N`` output is byte-identical
+to the serial run.  Results are memoised under ``.ksr-cache/`` (keyed by
+code version + arguments), making re-runs of unchanged points instant.
 """
 
 from __future__ import annotations
@@ -32,107 +39,113 @@ def _fig2(args) -> ExperimentResult:
     from repro.experiments.latency import run_figure2
 
     procs = [1, 2, 8, 32] if args.quick else [1, 2, 4, 8, 16, 24, 32]
-    return run_figure2(proc_counts=procs, samples=400 if args.quick else 1000)
+    return run_figure2(
+        proc_counts=procs, samples=400 if args.quick else 1000, runner=args.runner
+    )
 
 
 def _fig3(args) -> ExperimentResult:
     from repro.experiments.locks import run_figure3
 
     procs = [2, 8, 32] if args.quick else [2, 4, 8, 16, 24, 32]
-    return run_figure3(proc_counts=procs, ops=30 if args.quick else (500 if args.full else 100))
+    return run_figure3(
+        proc_counts=procs,
+        ops=30 if args.quick else (500 if args.full else 100),
+        runner=args.runner,
+    )
 
 
 def _fig4(args) -> ExperimentResult:
     from repro.experiments.barriers import run_figure4
 
     procs = [4, 16, 32] if args.quick else [2, 4, 8, 16, 24, 32]
-    return run_figure4(proc_counts=procs, reps=6 if args.quick else 10)
+    return run_figure4(proc_counts=procs, reps=6 if args.quick else 10, runner=args.runner)
 
 
 def _fig5(args) -> ExperimentResult:
     from repro.experiments.barriers import run_figure5
 
     procs = [16, 32, 48, 64] if args.quick else [16, 24, 32, 40, 48, 56, 64]
-    return run_figure5(proc_counts=procs, reps=6 if args.quick else 10)
+    return run_figure5(proc_counts=procs, reps=6 if args.quick else 10, runner=args.runner)
 
 
 def _other(args) -> ExperimentResult:
     from repro.experiments.other_archs import run_other_archs
 
-    return run_other_archs()
+    return args.runner.run(run_other_archs)
 
 
 def _ep(args) -> ExperimentResult:
     from repro.experiments.ep_scaling import run_ep_scaling
 
-    return run_ep_scaling(n_pairs=(1 << 16) if args.quick else (1 << 18))
+    return args.runner.run(run_ep_scaling, n_pairs=(1 << 16) if args.quick else (1 << 18))
 
 
 def _tab1(args) -> ExperimentResult:
     from repro.experiments.cg_scaling import run_table1
 
-    return run_table1(full_size=args.full)
+    return args.runner.run(run_table1, full_size=args.full)
 
 
 def _cg_ps(args) -> ExperimentResult:
     from repro.experiments.cg_scaling import run_cg_poststore
 
-    return run_cg_poststore(full_size=args.full)
+    return args.runner.run(run_cg_poststore, full_size=args.full)
 
 
 def _tab2(args) -> ExperimentResult:
     from repro.experiments.is_scaling import run_table2
 
-    return run_table2(full_size=args.full)
+    return args.runner.run(run_table2, full_size=args.full)
 
 
 def _tab3(args) -> ExperimentResult:
     from repro.experiments.sp_scaling import run_table3
 
-    return run_table3(full_size=args.full)
+    return args.runner.run(run_table3, full_size=args.full)
 
 
 def _tab4(args) -> ExperimentResult:
     from repro.experiments.sp_scaling import run_table4
 
-    return run_table4(full_size=args.full)
+    return args.runner.run(run_table4, full_size=args.full)
 
 
 def _sp_ps(args) -> ExperimentResult:
     from repro.experiments.sp_scaling import run_sp_poststore
 
-    return run_sp_poststore(full_size=args.full)
+    return args.runner.run(run_sp_poststore, full_size=args.full)
 
 
 def _cg_fmt(args) -> ExperimentResult:
     from repro.experiments.cg_formats import run_format_comparison
 
-    return run_format_comparison(full_size=args.full)
+    return args.runner.run(run_format_comparison, full_size=args.full)
 
 
 def _fig8(args) -> ExperimentResult:
     from repro.experiments.figure8 import run_figure8
 
-    return run_figure8(full_size=args.full)
+    return args.runner.run(run_figure8, full_size=args.full)
 
 
 def _future(args) -> ExperimentResult:
     from repro.experiments.future_features import run_future_features
 
-    return run_future_features(full_size=args.full)
+    return args.runner.run(run_future_features, full_size=args.full)
 
 
 def _proj_bar(args) -> ExperimentResult:
     from repro.experiments.projection import run_barrier_projection
 
     procs = [32, 64, 128] if args.quick else [32, 64, 128, 256]
-    return run_barrier_projection(proc_counts=procs)
+    return args.runner.run(run_barrier_projection, proc_counts=procs)
 
 
 def _proj_cg(args) -> ExperimentResult:
     from repro.experiments.projection import run_cg_projection
 
-    return run_cg_projection()
+    return args.runner.run(run_cg_projection)
 
 
 EXPERIMENTS: dict[str, tuple[str, Callable]] = {
@@ -179,7 +192,26 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="render each experiment's series as an ASCII figure too",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan independent sweep points across N worker processes "
+        "(output is byte-identical to the serial run)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every point instead of reusing .ksr-cache/ "
+        "(set KSR_CACHE_DIR to relocate the cache)",
+    )
     args = parser.parse_args(argv)
+    from repro.experiments.sweep import ResultCache, SweepRunner
+
+    args.runner = SweepRunner(
+        jobs=args.jobs, cache=None if args.no_cache else ResultCache.default()
+    )
     if args.list or not args.experiments:
         for key, (title, _) in EXPERIMENTS.items():
             print(f"{key:14s} {title}")

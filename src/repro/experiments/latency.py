@@ -23,6 +23,7 @@ from typing import Iterator
 
 from repro.errors import ConfigError
 from repro.experiments.base import ExperimentResult
+from repro.experiments.sweep import SweepRunner
 from repro.machine.api import SharedArray, SharedMemory
 from repro.machine.config import (
     BLOCK_BYTES,
@@ -160,36 +161,62 @@ def measure_latencies(
 
 
 def run_figure2(
-    proc_counts: list[int] | None = None, *, seed: int = 101, samples: int = _SAMPLES
+    proc_counts: list[int] | None = None,
+    *,
+    seed: int = 101,
+    samples: int = _SAMPLES,
+    runner: SweepRunner | None = None,
 ) -> ExperimentResult:
-    """Reproduce Figure 2 plus the allocation-overhead call-outs."""
+    """Reproduce Figure 2 plus the allocation-overhead call-outs.
+
+    Each (level, op, P) point runs on a fresh, point-seeded machine, so
+    ``runner`` may compute them in parallel and/or from the result
+    cache — the assembled table is byte-identical regardless.
+    """
     if proc_counts is None:
         proc_counts = [1, 2, 4, 8, 16, 24, 32]
+    if runner is None:
+        runner = SweepRunner()
     result = ExperimentResult(
         experiment_id="FIG2",
         title="Read/Write latencies on the KSR (microseconds per access)",
         headers=["P", "local read", "local write", "network read", "network write"],
     )
+    calls: list[dict] = []
+    for p in proc_counts:
+        for level in ("local", "network"):
+            for op in ("read", "write"):
+                if level == "network" and p < 2:
+                    continue  # a 1-processor "neighbour" is itself
+                calls.append(dict(n_procs=p, level=level, op=op, seed=seed, samples=samples))
+    # allocation overhead call-outs at one processor
+    calls.append(dict(n_procs=1, level="local", op="read", seed=seed, samples=samples))
+    calls.append(
+        dict(
+            n_procs=1, level="local", op="read",
+            stride_bytes=BLOCK_BYTES, seed=seed, samples=samples,
+        )
+    )
+    calls.append(dict(n_procs=2, level="network", op="read", seed=seed, samples=samples))
+    calls.append(
+        dict(
+            n_procs=2, level="network", op="read",
+            stride_bytes=PAGE_BYTES, seed=seed, samples=samples,
+        )
+    )
+    values = iter(runner.map(measure_latencies, calls))
     for p in proc_counts:
         row = [p]
         for level in ("local", "network"):
             for op in ("read", "write"):
                 if level == "network" and p < 2:
-                    row.append("-")  # a 1-processor "neighbour" is itself
+                    row.append("-")
                     continue
-                m = measure_latencies(p, level, op, seed=seed, samples=samples)
+                m = next(values)
                 row.append(m.mean_latency_s * 1e6)
                 result.add_series_point(f"{level} {op}", p, m.mean_latency_s)
         result.add_row(row)
-    # allocation overhead call-outs at one processor
-    base_local = measure_latencies(1, "local", "read", seed=seed, samples=samples)
-    block_local = measure_latencies(
-        1, "local", "read", stride_bytes=BLOCK_BYTES, seed=seed, samples=samples
-    )
-    base_net = measure_latencies(2, "network", "read", seed=seed, samples=samples)
-    page_net = measure_latencies(
-        2, "network", "read", stride_bytes=PAGE_BYTES, seed=seed, samples=samples
-    )
+    base_local, block_local, base_net, page_net = values
     block_rise = block_local.mean_latency_s / base_local.mean_latency_s - 1.0
     page_rise = page_net.mean_latency_s / base_net.mean_latency_s - 1.0
     result.notes.append(

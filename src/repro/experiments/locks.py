@@ -14,6 +14,7 @@ lock's surprising win over the hardware lock even with writers only.
 from __future__ import annotations
 
 from repro.experiments.base import ExperimentResult
+from repro.experiments.sweep import SweepRunner
 from repro.machine.api import SharedMemory
 from repro.machine.config import MachineConfig
 from repro.machine.ksr import KsrMachine
@@ -62,10 +63,19 @@ def run_figure3(
     *,
     ops: int = _DEFAULT_OPS,
     seed: int = 303,
+    runner: SweepRunner | None = None,
 ) -> ExperimentResult:
-    """Reproduce Figure 3's seven curves."""
+    """Reproduce Figure 3's seven curves.
+
+    Every (lock kind, P, read fraction) point is an independent machine
+    with point-local seeding, so ``runner`` may fan them across worker
+    processes and/or serve them from the result cache without changing
+    a single byte of the table.
+    """
     if proc_counts is None:
         proc_counts = [2, 4, 8, 16, 24, 32]
+    if runner is None:
+        runner = SweepRunner()
     fractions = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
     result = ExperimentResult(
         experiment_id="FIG3",
@@ -73,13 +83,19 @@ def run_figure3(
         headers=["P", "exclusive"]
         + [f"rw {int(f * 100)}% read" for f in fractions],
     )
+    calls: list[dict] = []
+    for p in proc_counts:
+        calls.append(dict(kind="hardware", n_procs=p, read_fraction=0.0, ops=ops, seed=seed))
+        for f in fractions:
+            calls.append(dict(kind="rw", n_procs=p, read_fraction=f, ops=ops, seed=seed))
+    values = iter(runner.map(measure_lock, calls))
     for p in proc_counts:
         row: list = [p]
-        t_excl = measure_lock("hardware", p, 0.0, ops=ops, seed=seed)
+        t_excl = next(values)
         row.append(t_excl)
         result.add_series_point("exclusive lock", p, t_excl)
         for f in fractions:
-            t = measure_lock("rw", p, f, ops=ops, seed=seed)
+            t = next(values)
             row.append(t)
             result.add_series_point(f"rw {int(f * 100)}%", p, t)
         result.add_row(row)

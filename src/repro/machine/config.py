@@ -38,6 +38,7 @@ pipeline and stays at 2 cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 
 from repro.errors import ConfigError
 from repro.util.units import KIB, MIB
@@ -151,29 +152,32 @@ class RingConfig:
         if self.hop_cycles <= 0 or self.protocol_overhead_cycles < 0:
             raise ConfigError("ring timing parameters must be positive")
 
-    @property
+    # Derived values are cached: RingConfig is frozen, and these sit on
+    # the per-transaction hot path of the slotted-ring model.
+
+    @cached_property
     def circuit_cycles(self) -> float:
         """CPU cycles for one full circuit of the ring."""
         return self.n_stations * self.hop_cycles
 
-    @property
+    @cached_property
     def total_slots(self) -> int:
         """Concurrent transactions the ring level can carry."""
         return self.n_subrings * self.slots_per_subring
 
-    @property
+    @cached_property
     def slot_spacing_cycles(self) -> float:
         """Cycles between consecutive slots passing a station."""
         return self.circuit_cycles / self.slots_per_subring
 
-    @property
+    @cached_property
     def slot_hold_cycles(self) -> float:
         """How long one transaction keeps its slot busy: the full
         circuit plus half a slot spacing of removal/turnaround before
         the emptied slot is usable by the next station."""
         return self.circuit_cycles + 0.5 * self.slot_spacing_cycles
 
-    @property
+    @cached_property
     def remote_latency_cycles(self) -> float:
         """Uncontended remote access latency within this ring."""
         return self.circuit_cycles + self.protocol_overhead_cycles

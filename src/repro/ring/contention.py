@@ -58,11 +58,12 @@ class RingLoadModel:
         ``n_procs`` processors each issue remote transactions separated
         by ``think_cycles`` of local work.
         """
-        base = self.ring.remote_latency_cycles
+        ring = self.ring
+        base = ring.remote_latency_cycles
         if n_procs <= 1:
             return base
-        slots = self.ring.total_slots
-        hold = self.ring.slot_hold_cycles
+        slots = ring.total_slots
+        hold = ring.slot_hold_cycles
         # Sub-saturation inflation from slot-alignment queueing.
         rho = min(1.0, self.offered_population(n_procs, think_cycles, base) / slots)
         queued = base * (1.0 + _QUEUEING_COEFF * rho * rho / max(1e-9, 1.0 - 0.5 * rho))

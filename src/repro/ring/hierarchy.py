@@ -23,7 +23,7 @@ from repro.util.rng import SeedStream
 __all__ = ["PathTiming", "RingHierarchy"]
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, eq=False)
 class PathTiming:
     """Timing of a (possibly multi-ring) transaction."""
 
@@ -59,12 +59,15 @@ class RingHierarchy:
             slots_per_subring=config.ring.slots_per_subring * self.LEVEL1_BANDWIDTH_FACTOR,
         )
         self.level1 = SlottedRing(level1_cfg, seeds.rng("ring/level1"))
+        # Hot-path lookup table: cell ids are validated once here, so
+        # per-transaction routing is a plain list index.
+        self._ring_index = [config.ring_of(c) for c in range(config.n_cells)]
 
     # ------------------------------------------------------------------
 
     def ring_of(self, cell_id: int) -> int:
         """Leaf ring hosting ``cell_id``."""
-        return self.config.ring_of(cell_id)
+        return self._ring_index[cell_id]
 
     def transact(
         self,
@@ -80,18 +83,14 @@ class RingHierarchy:
         ring (e.g. an invalidation round with all sharers local, or a
         miss that allocates fresh data).
         """
-        src_ring = self.ring_of(src_cell)
-        if dst_cell is None or self.ring_of(dst_cell) == src_ring:
+        ring_index = self._ring_index
+        src_ring = ring_index[src_cell]
+        if dst_cell is None or ring_index[dst_cell] == src_ring:
             grant = self.leaf_rings[src_ring].transact(now, subpage_id)
             return PathTiming(
-                requested_at=now,
-                completed_at=grant.completed_at,
-                wait_cycles=grant.wait_cycles,
-                crossed_rings=False,
-                legs=(grant,),
+                now, grant.completed_at, grant.injected_at - now, False, (grant,)
             )
-        dst_ring = self.ring_of(dst_cell)
-        ard_cost = self.ards[src_ring].crossing_cycles + self.ards[dst_ring].crossing_cycles
+        dst_ring = ring_index[dst_cell]
         leg1 = self.leaf_rings[src_ring].transact(now, subpage_id, overhead_cycles=0.0)
         leg2 = self.level1.transact(
             leg1.completed_at + self.ards[src_ring].crossing_cycles,
@@ -103,13 +102,7 @@ class RingHierarchy:
             subpage_id,
         )
         wait = leg1.wait_cycles + leg2.wait_cycles + leg3.wait_cycles
-        return PathTiming(
-            requested_at=now,
-            completed_at=leg3.completed_at,
-            wait_cycles=wait,
-            crossed_rings=True,
-            legs=(leg1, leg2, leg3),
-        )
+        return PathTiming(now, leg3.completed_at, wait, True, (leg1, leg2, leg3))
 
     # ------------------------------------------------------------------
 

@@ -18,11 +18,19 @@ The model makes slot occupancy explicit:
 Round-robin fairness falls out of "earliest free slot" ordering;
 forward progress is guaranteed because slots are always released after
 one circuit.
+
+Grant selection keeps each sub-ring's slots in a min-heap of
+``(free_time, slot_index)`` pairs, so picking the earliest-free slot is
+O(log slots) instead of a linear scan.  The heap's lexicographic order
+(earliest free time, then lowest slot index) is exactly the order the
+old ``min()`` scan produced, so grant sequences are bit-for-bit
+identical (verified by ``tests/ring/test_slotted_ring.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heapreplace
 
 import numpy as np
 
@@ -31,8 +39,12 @@ from repro.machine.config import RingConfig
 
 __all__ = ["RingGrant", "SlottedRing"]
 
+#: Slot-alignment jitter values drawn from the ring's private RNG
+#: stream per batch (one numpy call amortised over many transactions).
+_JITTER_BATCH = 256
 
-@dataclass(frozen=True)
+
+@dataclass(slots=True, eq=False)
 class RingGrant:
     """Timing of one granted ring transaction."""
 
@@ -65,7 +77,10 @@ class SlottedRing:
         Ring geometry and timing.
     rng:
         Source of the slot-alignment jitter.  With a seeded generator
-        the whole simulation is reproducible.
+        the whole simulation is reproducible.  The generator becomes
+        private to this ring: jitter values are drawn from it in
+        batches, so interleaving other draws on the same generator
+        would not be reproducible anyway.
     """
 
     def __init__(self, config: RingConfig, rng: np.random.Generator):
@@ -73,10 +88,20 @@ class SlottedRing:
             raise ConfigError("ring must carry at least one slot")
         self.config = config
         self.rng = rng
-        # slot_free[s][k]: earliest time slot k of sub-ring s is free
-        self._slot_free = [
-            [0.0] * config.slots_per_subring for _ in range(config.n_subrings)
+        # Per-sub-ring min-heap of (earliest free time, slot index).
+        # Initial entries are already heap-ordered.
+        self._free = [
+            [(0.0, k) for k in range(config.slots_per_subring)]
+            for _ in range(config.n_subrings)
         ]
+        # Scalars hoisted out of the per-transaction path (RingConfig
+        # derived values are properties).
+        self._n_subrings = config.n_subrings
+        self._spacing = config.slot_spacing_cycles
+        self._hold = config.slot_hold_cycles
+        self._circuit = config.circuit_cycles
+        self._overhead = config.protocol_overhead_cycles
+        self._jitter: list[float] = []
         self.n_transactions = 0
         self.total_wait_cycles = 0.0
         self.total_transit_cycles = 0.0
@@ -84,7 +109,7 @@ class SlottedRing:
     def subring_of(self, subpage_id: int) -> int:
         """Sub-ring carrying traffic for ``subpage_id`` (address
         interleaving: consecutive subpages alternate sub-rings)."""
-        return subpage_id % self.config.n_subrings
+        return subpage_id % self._n_subrings
 
     def transact(
         self,
@@ -99,27 +124,27 @@ class SlottedRing:
         protocol overhead (the hierarchy passes 0 for intermediate legs
         of a multi-ring path).
         """
-        cfg = self.config
         if overhead_cycles is None:
-            overhead_cycles = cfg.protocol_overhead_cycles
-        subring = self.subring_of(subpage_id)
-        slots = self._slot_free[subring]
-        jitter = float(self.rng.uniform(0.0, cfg.slot_spacing_cycles))
-        earliest = now + jitter
+            overhead_cycles = self._overhead
+        subring = subpage_id % self._n_subrings
+        heap = self._free[subring]
+        # Batched jitter: one uniform(0, spacing, size=N) call consumes
+        # exactly the same stream values as N single draws, so batching
+        # changes no simulated timing (popped from the end in draw order).
+        buf = self._jitter
+        if not buf:
+            buf[:] = self.rng.uniform(0.0, self._spacing, size=_JITTER_BATCH).tolist()
+            buf.reverse()
+        earliest = now + buf.pop()
         # earliest-free slot of this sub-ring (round-robin fairness)
-        best = min(range(len(slots)), key=slots.__getitem__)
-        injected = max(earliest, slots[best])
-        slots[best] = injected + cfg.slot_hold_cycles
-        completed = injected + cfg.circuit_cycles + overhead_cycles
+        free, slot = heap[0]
+        injected = earliest if earliest > free else free
+        heapreplace(heap, (injected + self._hold, slot))
+        completed = injected + self._circuit + overhead_cycles
         self.n_transactions += 1
         self.total_wait_cycles += injected - now
         self.total_transit_cycles += completed - injected
-        return RingGrant(
-            requested_at=now,
-            injected_at=injected,
-            completed_at=completed,
-            subring=subring,
-        )
+        return RingGrant(now, injected, completed, subring)
 
     def piggyback_window(self, grant: RingGrant) -> tuple[float, float]:
         """Time window during which the response packet of ``grant``

@@ -5,22 +5,35 @@ Time is a float, measured in CPU cycles of the simulated machine
 the same instant fire in scheduling order, which keeps runs
 deterministic without any reliance on heap tie-breaking.
 
+The queue stores ``(time, tie, seq, event)`` tuples so that ``heapq``
+orders entries by comparing native tuples of numbers — the interpreter
+never calls back into :meth:`Event.__lt__` on the hot path.  ``seq`` is
+unique per event, so the comparison always resolves before reaching the
+``event`` element.
+
 Two opt-in hooks support the determinism auditing in
 :mod:`repro.analysis.races`: :attr:`Engine.audit_hook` observes every
 event just before it fires, and :meth:`Engine.shuffle_same_time_ties`
 replaces the same-instant FIFO order with a seeded random order so a
 harness can detect outcomes that depend on tie-breaking.  Neither hook
-affects a run unless explicitly installed.
+affects a run unless explicitly installed; :meth:`Engine.run` samples
+``audit_hook`` when it starts, so install it before running.
+
+Wall-clock throughput (events/sec) is metered through
+:mod:`repro.util.wallclock` and exposed via :attr:`Engine.stats`; the
+host clock is never visible to simulated code.
 """
 
 from __future__ import annotations
 
 import heapq
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
+from repro.util.wallclock import perf_counter
 
-__all__ = ["Engine", "Event"]
+__all__ = ["Engine", "EngineStats", "Event"]
 
 
 class Event:
@@ -61,6 +74,22 @@ class Event:
         return f"Event(t={self.time:.1f}, {name}{'(cancelled)' if self.cancelled else ''})"
 
 
+@dataclass(frozen=True)
+class EngineStats:
+    """Throughput counters for one engine (see :attr:`Engine.stats`)."""
+
+    #: Events executed so far.
+    events_fired: int
+    #: Host seconds spent inside :meth:`Engine.run` / :meth:`Engine.step`.
+    wall_seconds: float
+    #: ``events_fired / wall_seconds`` (0.0 before the first run).
+    events_per_sec: float
+    #: Current simulation time in cycles.
+    sim_time: float
+    #: Queued (possibly cancelled) events.
+    pending: int
+
+
 class Engine:
     """A minimal deterministic discrete-event engine.
 
@@ -74,10 +103,11 @@ class Engine:
     """
 
     def __init__(self) -> None:
-        self._queue: list[Event] = []
+        self._queue: list[tuple[float, float, int, Event]] = []
         self._now = 0.0
         self._seq = 0
         self._n_fired = 0
+        self._wall_s = 0.0
         self._tie_rng: Any = None
         #: Opt-in observer called with each event just before it fires
         #: (see :mod:`repro.analysis.races`).  ``None`` in normal runs.
@@ -110,37 +140,42 @@ class Engine:
         """Number of queued (possibly cancelled) events."""
         return len(self._queue)
 
+    @property
+    def stats(self) -> EngineStats:
+        """Throughput snapshot: events fired, wall time, events/sec."""
+        rate = self._n_fired / self._wall_s if self._wall_s > 0 else 0.0
+        return EngineStats(
+            events_fired=self._n_fired,
+            wall_seconds=self._wall_s,
+            events_per_sec=rate,
+            sim_time=self._now,
+            pending=len(self._queue),
+        )
+
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` cycles from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        tie = float(self._tie_rng.random()) if self._tie_rng is not None else None
-        event = Event(self._now + delay, self._seq, callback, args, tie)
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        tie = float(self._tie_rng.random()) if self._tie_rng is not None else float(seq)
+        event = Event(self._now + delay, seq, callback, args, tie)
+        heapq.heappush(self._queue, (event.time, tie, seq, event))
         return event
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at absolute ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} which is before now={self._now}"
+            )
         return self.schedule(time - self._now, callback, *args)
 
     def step(self) -> bool:
         """Fire the next non-cancelled event.  Returns False when idle."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            if event.time < self._now:
-                raise SimulationError(
-                    f"event queue corrupt: event at {event.time} < now {self._now}"
-                )
-            self._now = event.time
-            self._n_fired += 1
-            if self.audit_hook is not None:
-                self.audit_hook(event)
-            event.callback(*event.args)
-            return True
-        return False
+        before = self._n_fired
+        self._run_guarded(None, 1)
+        return self._n_fired != before
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Run until the queue drains, ``until`` cycles pass, or
@@ -149,19 +184,65 @@ class Engine:
         ``until`` is an absolute simulation time; events scheduled
         beyond it remain queued and ``now`` advances to ``until``.
         """
-        fired = 0
-        while self._queue:
-            if max_events is not None and fired >= max_events:
-                return
-            head = self._queue[0]
-            if head.cancelled:
-                heapq.heappop(self._queue)
-                continue
-            if until is not None and head.time > until:
-                self._now = max(self._now, until)
-                return
-            if not self.step():
-                break
-            fired += 1
-        if until is not None:
-            self._now = max(self._now, until)
+        if self.audit_hook is not None or until is not None or max_events is not None:
+            self._run_guarded(until, max_events)
+            return
+        # Fast path: no audit hook, no horizon, no budget.  Pops the
+        # whole queue with everything hot in locals; the only attribute
+        # writes per event are the clock and the fired counter (both
+        # observable from callbacks, so they must stay current).
+        queue = self._queue
+        pop = heapq.heappop
+        start = perf_counter()
+        try:
+            while queue:
+                time, _tie, _seq, event = pop(queue)
+                if event.cancelled:
+                    continue
+                if time < self._now:
+                    raise SimulationError(
+                        f"event queue corrupt: event at {time} < now {self._now}"
+                    )
+                self._now = time
+                self._n_fired += 1
+                event.callback(*event.args)
+        finally:
+            self._wall_s += perf_counter() - start
+
+    def _run_guarded(self, until: float | None, max_events: int | None) -> None:
+        """The general loop: audit hook, ``until`` horizon, event budget.
+
+        This is the single place that skips cancelled heap entries for
+        the guarded paths; :meth:`step` delegates here too, so there is
+        exactly one other pop site (the fast loop in :meth:`run`).
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        audit = self.audit_hook
+        remaining = -1 if max_events is None else max_events
+        start = perf_counter()
+        try:
+            while queue:
+                if remaining == 0:
+                    return  # budget exhausted: do not advance to `until`
+                time, _tie, _seq, event = queue[0]
+                if event.cancelled:
+                    pop(queue)
+                    continue
+                if until is not None and time > until:
+                    break
+                pop(queue)
+                if time < self._now:
+                    raise SimulationError(
+                        f"event queue corrupt: event at {time} < now {self._now}"
+                    )
+                self._now = time
+                self._n_fired += 1
+                remaining -= 1
+                if audit is not None:
+                    audit(event)
+                event.callback(*event.args)
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._wall_s += perf_counter() - start

@@ -1,0 +1,18 @@
+"""The sanctioned wall-clock seam for *metering only*.
+
+Simulator packages are forbidden (lint rule KSR100) from importing
+``time`` directly, because no simulated outcome may depend on the host
+clock.  Throughput metering — the ``events/sec`` counter exposed by
+:attr:`repro.sim.engine.Engine.stats` — is the one legitimate use of
+wall time inside the simulator: it observes the host, never the model.
+This module is that single, auditable entry point.  Nothing read from
+it may influence event ordering, timestamps, or any simulated value;
+the determinism auditor (``ksr-analyze races``) exists to catch
+violations of that rule.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+__all__ = ["perf_counter"]

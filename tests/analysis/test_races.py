@@ -56,6 +56,26 @@ class TestEngineHooks:
         engine.run()
         assert fired == ["early", "late"]
 
+    def test_shuffle_and_audit_compose_on_large_tie_groups(self):
+        # regression for the tuple-keyed heap: the perturbation harness
+        # relies on shuffled tie keys and the audit hook seeing every
+        # event; both must keep working with heap entries that are
+        # (time, tie, seq, event) tuples rather than bare Events.
+        engine = Engine()
+        engine.shuffle_same_time_ties(np.random.default_rng(7))
+        audited = []
+        engine.audit_hook = lambda ev: audited.append(ev.time)
+        fired = []
+        for instant in (5.0, 1.0):
+            for tag in range(8):
+                engine.schedule(instant, fired.append, (instant, tag))
+        engine.run()
+        assert len(fired) == 16
+        assert audited == [1.0] * 8 + [5.0] * 8
+        assert [t for t, _ in fired] == audited
+        # the shuffle must only permute within an instant, never across
+        assert sorted(tag for t, tag in fired if t == 1.0) == list(range(8))
+
 
 class TestConflictFlags:
     def _run_pair(self, make_callbacks):

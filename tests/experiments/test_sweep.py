@@ -1,0 +1,152 @@
+"""The sweep runner: cache keys, the on-disk cache, and the guarantee
+that serial, parallel and cached runs all produce identical results."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.analysis.races import default_audit_workload, machine_fingerprint
+from repro.experiments.locks import measure_lock, run_figure3
+from repro.experiments.sweep import ResultCache, SweepRunner, code_version, point_key
+
+
+def square(x: int) -> int:
+    """Module-level so worker processes can unpickle it by reference."""
+    return x * x
+
+
+def audit_fingerprint(seed: int) -> dict:
+    """Fingerprint of the default audit workload (ignores the seed arg,
+    which only exists to make distinct cache keys)."""
+    machine, _ = default_audit_workload()
+    return machine_fingerprint(machine)
+
+
+class TestPointKey:
+    def test_stable_across_calls(self):
+        kwargs = dict(kind="hardware", n_procs=8, read_fraction=0.0)
+        assert point_key(measure_lock, kwargs) == point_key(measure_lock, kwargs)
+
+    def test_insensitive_to_kwarg_order(self):
+        a = point_key(square, dict(x=1, y=2))
+        b = point_key(square, dict(y=2, x=1))
+        assert a == b
+
+    def test_distinct_arguments_distinct_keys(self):
+        assert point_key(square, dict(x=1)) != point_key(square, dict(x=2))
+
+    def test_distinct_functions_distinct_keys(self):
+        assert point_key(square, dict(x=1)) != point_key(measure_lock, dict(x=1))
+
+    def test_code_version_is_hex_digest(self):
+        version = code_version()
+        assert len(version) == 64
+        int(version, 16)  # raises if not hex
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = point_key(square, dict(x=3))
+        hit, _ = cache.load(key)
+        assert not hit
+        cache.store(key, 9, meta={"func": "square"})
+        hit, value = cache.load(key)
+        assert hit and value == 9
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = point_key(square, dict(x=4))
+        cache.store(key, 16)
+        path = cache._path(key)
+        path.write_bytes(b"not a pickle")
+        hit, value = cache.load(key)
+        assert not hit and value is None
+
+    def test_entry_missing_value_field_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        key = point_key(square, dict(x=5))
+        path = cache._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps({"wrong": "shape"}))
+        hit, _ = cache.load(key)
+        assert not hit
+
+    def test_default_respects_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("KSR_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert ResultCache.default().root == tmp_path / "elsewhere"
+
+
+class TestSweepRunner:
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=0)
+
+    def test_map_preserves_call_order(self):
+        runner = SweepRunner()
+        values = runner.map(square, [dict(x=i) for i in (3, 1, 2)])
+        assert values == [9, 1, 4]
+
+    def test_run_evaluates_single_point(self):
+        assert SweepRunner().run(square, x=6) == 36
+
+    def test_second_sweep_is_all_cache_hits(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        runner = SweepRunner(cache=cache)
+        calls = [dict(x=i) for i in range(5)]
+        first = runner.map(square, calls)
+        assert cache.misses == 5 and cache.hits == 0
+        second = runner.map(square, calls)
+        assert second == first
+        assert cache.hits == 5 and cache.misses == 5
+
+    def test_parallel_matches_serial(self):
+        calls = [dict(x=i) for i in range(6)]
+        serial = SweepRunner(jobs=1).map(square, calls)
+        parallel = SweepRunner(jobs=2).map(square, calls)
+        assert parallel == serial
+
+    def test_parallel_simulation_points_bit_identical(self):
+        calls = [
+            dict(kind="hardware", n_procs=p, read_fraction=0.0, ops=5, seed=303)
+            for p in (2, 4)
+        ]
+        serial = SweepRunner(jobs=1).map(measure_lock, calls)
+        parallel = SweepRunner(jobs=2).map(measure_lock, calls)
+        assert parallel == serial  # float equality: bit-for-bit, not approx
+
+
+class TestExperimentEquivalence:
+    """The ISSUE's acceptance property, at test scale: a parallel and/or
+    cached figure run is byte-identical to the plain serial one."""
+
+    PROCS = [2, 4]
+    OPS = 5
+
+    def _fig3(self, runner):
+        return run_figure3(proc_counts=self.PROCS, ops=self.OPS, runner=runner)
+
+    def test_parallel_figure3_rows_identical(self):
+        serial = self._fig3(SweepRunner(jobs=1))
+        parallel = self._fig3(SweepRunner(jobs=2))
+        assert parallel.rows == serial.rows
+        assert parallel.series == serial.series
+        assert parallel.render() == serial.render()
+
+    def test_cached_figure3_rows_identical(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        serial = self._fig3(SweepRunner(jobs=1))
+        cold = self._fig3(SweepRunner(cache=cache))
+        warm = self._fig3(SweepRunner(cache=cache))
+        assert cold.rows == serial.rows
+        assert warm.rows == serial.rows
+        assert cache.hits >= len(cold.rows)
+
+    def test_parallel_machine_fingerprints_identical(self):
+        calls = [dict(seed=s) for s in (1, 2)]
+        serial = SweepRunner(jobs=1).map(audit_fingerprint, calls)
+        parallel = SweepRunner(jobs=2).map(audit_fingerprint, calls)
+        assert parallel == serial

@@ -37,6 +37,23 @@ class TestScheduling:
         eng.run()
         assert seen == [7.5]
 
+    def test_schedule_at_past_time_rejected_with_clear_message(self):
+        eng = Engine()
+        eng.schedule(10, lambda: None)
+        eng.run()
+        assert eng.now == 10.0
+        with pytest.raises(SimulationError, match=r"t=4(\.0)? .*now=10\.0"):
+            eng.schedule_at(4, lambda: None)
+
+    def test_schedule_at_now_is_allowed(self):
+        eng = Engine()
+        eng.schedule(10, lambda: None)
+        eng.run()
+        fired = []
+        eng.schedule_at(10.0, fired.append, "again")
+        eng.run()
+        assert fired == ["again"]
+
     def test_events_scheduled_from_callbacks(self):
         eng = Engine()
         fired = []
@@ -105,6 +122,98 @@ class TestRunControl:
             eng.schedule(i, lambda: None)
         eng.run()
         assert eng.events_fired == 4
+
+
+class TestFastPath:
+    """The inlined run() loop and the tuple-keyed heap."""
+
+    def test_same_instant_fifo_survives_interleaved_delays(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(5, fired.append, "a")
+        eng.schedule(3, fired.append, "x")
+        eng.schedule(5, fired.append, "b")
+        eng.schedule(5, fired.append, "c")
+        eng.run()
+        assert fired == ["x", "a", "b", "c"]
+
+    def test_cancelled_head_skipped_on_fast_path(self):
+        eng = Engine()
+        fired = []
+        first = eng.schedule(1, fired.append, "dropped")
+        eng.schedule(2, fired.append, "kept")
+        first.cancel()
+        eng.run()  # no until/max_events/audit: the fast loop
+        assert fired == ["kept"]
+        assert eng.events_fired == 1
+
+    def test_cancelled_head_skipped_on_guarded_path(self):
+        eng = Engine()
+        fired = []
+        first = eng.schedule(1, fired.append, "dropped")
+        eng.schedule(2, fired.append, "kept")
+        first.cancel()
+        eng.run(until=50)  # until forces the guarded loop
+        assert fired == ["kept"]
+        assert eng.pending == 0
+
+    def test_max_events_does_not_advance_to_until(self):
+        eng = Engine()
+        fired = []
+        eng.schedule(5, fired.append, "a")
+        eng.schedule(8, fired.append, "b")
+        eng.run(until=100, max_events=1)
+        assert fired == ["a"]
+        assert eng.now == 5.0  # stopped by the budget, not the horizon
+        eng.run(until=100)
+        assert fired == ["a", "b"]
+        assert eng.now == 100.0
+
+    def test_audit_hook_fires_on_every_event_with_budget(self):
+        eng = Engine()
+        seen = []
+        eng.audit_hook = lambda ev: seen.append(ev.time)
+        for d in (3, 1, 2):
+            eng.schedule(d, lambda: None)
+        eng.run(max_events=2)
+        assert seen == [1.0, 2.0]
+
+    def test_events_fired_current_during_callbacks(self):
+        """Callbacks must observe an up-to-date counter mid-run."""
+        eng = Engine()
+        observed = []
+        for _ in range(3):
+            eng.schedule(1, lambda: observed.append(eng.events_fired))
+        eng.run()
+        assert observed == [1, 2, 3]
+
+    def test_stats_counts_events_and_wall_time(self):
+        eng = Engine()
+        for i in range(100):
+            eng.schedule(i, lambda: None)
+        eng.run()
+        stats = eng.stats
+        assert stats.events_fired == 100
+        assert stats.pending == 0
+        assert stats.sim_time == 99.0
+        assert stats.wall_seconds > 0.0
+        assert stats.events_per_sec == pytest.approx(100 / stats.wall_seconds)
+
+    def test_stats_zero_before_any_run(self):
+        stats = Engine().stats
+        assert stats.events_fired == 0
+        assert stats.events_per_sec == 0.0
+
+    def test_step_and_run_share_semantics(self):
+        """step() is the guarded path with a budget of one event."""
+        eng = Engine()
+        fired = []
+        drop = eng.schedule(1, fired.append, "drop")
+        eng.schedule(2, fired.append, "keep")
+        drop.cancel()
+        assert eng.step() is True
+        assert fired == ["keep"]
+        assert eng.step() is False
 
 
 class TestDeterminism:
