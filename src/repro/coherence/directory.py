@@ -180,6 +180,31 @@ class Directory:
         pool = local if local else candidates
         return min(pool)  # deterministic choice
 
+    def summary(self) -> dict[str, int]:
+        """Aggregate sharing statistics over every tracked subpage.
+
+        Used by the observability capture (:mod:`repro.obs`) to report
+        the machine's end-of-run sharing profile: how many subpages are
+        tracked, how many are held shared / exclusively owned / atomic,
+        and how many INVALID place-holders (snarf candidates) exist.
+        """
+        owned = atomic = shared = placeholders = 0
+        for entry in self._entries.values():
+            if entry.owner is not None:
+                owned += 1
+                if entry.atomic:
+                    atomic += 1
+            elif len(entry.sharers) > 1:
+                shared += 1
+            placeholders += len(entry.placeholders)
+        return {
+            "subpages": len(self._entries),
+            "owned_exclusive": owned,
+            "held_atomic": atomic,
+            "shared_multi": shared,
+            "placeholders": placeholders,
+        }
+
     def state_in(self, subpage_id: int, cell_id: int) -> Optional[SubpageState]:
         """Directory's view of the cell's copy (for cross-checking the
         local caches in tests)."""

@@ -104,6 +104,10 @@ class CoherenceProtocol:
         self._refetch: dict[int, _Refetch] = {}
         self.n_cold_creates = 0
         self.n_wakeups = 0
+        #: Opt-in observability probe (see :mod:`repro.obs`): an object
+        #: with ``on_invalidations(now, n_losers)``.  ``None`` — the
+        #: default — costs one branch per invalidation round.
+        self.probe: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -304,6 +308,8 @@ class CoherenceProtocol:
             loser_cell.perfmon.invalidations_received += 1
         if losers:
             self._cell(keep_cell).perfmon.invalidations_sent += len(losers)
+            if self.probe is not None:
+                self.probe.on_invalidations(self.engine.now, len(losers))
 
     def _fill(
         self,

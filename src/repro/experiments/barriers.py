@@ -16,6 +16,7 @@ from repro.experiments.sweep import SweepRunner
 from repro.machine.api import SharedMemory
 from repro.machine.config import MachineConfig, TimerConfig
 from repro.machine.ksr import KsrMachine
+from repro.obs import Observer, ObsCapture, ObsSpec, trace_sink
 from repro.sim.process import LocalOps
 from repro.sync.barriers import make_barrier
 
@@ -52,8 +53,14 @@ def measure_barrier(
     reps: int = 10,
     seed: int = 404,
     use_poststore: bool = True,
-) -> float:
-    """Mean seconds per barrier episode for one (algorithm, P) point."""
+    obs: ObsSpec | None = None,
+) -> float | tuple[float, ObsCapture]:
+    """Mean seconds per barrier episode for one (algorithm, P) point.
+
+    With ``obs`` set, an :class:`~repro.obs.Observer` rides along (the
+    probes are read-only, so the timing is unchanged) and the return
+    value becomes ``(seconds, capture)``.
+    """
     if n_procs < 2:
         raise ConfigError("a barrier measurement needs at least 2 processors")
     if machine_config is None:
@@ -63,6 +70,7 @@ def measure_barrier(
     if machine_config.n_cells < n_procs:
         raise ConfigError("machine too small for the requested P")
     machine = KsrMachine(machine_config)
+    observer = Observer(obs).attach(machine) if obs is not None else None
     mem = SharedMemory(machine)
     barrier = make_barrier(name, mem, n_procs, use_poststore=use_poststore)
     marks: dict[int, list[float]] = {i: [] for i in range(n_procs)}
@@ -83,25 +91,42 @@ def measure_barrier(
     durations = [
         end - start for start, end in zip(episode_starts, episode_ends[1:])
     ]
-    return machine.config.seconds(float(np.mean(durations)))
+    seconds = machine.config.seconds(float(np.mean(durations)))
+    if observer is not None:
+        capture = observer.capture(
+            f"{name} barrier P={n_procs}",
+            name=name, n_procs=n_procs, reps=reps, seed=seed,
+            n_cells=machine_config.n_cells,
+        )
+        observer.detach()
+        return seconds, capture
+    return seconds
 
 
-def figure4_point(name: str, n_procs: int, reps: int, seed: int) -> float:
+def figure4_point(
+    name: str, n_procs: int, reps: int, seed: int, obs: ObsSpec | None = None
+) -> float | tuple[float, ObsCapture]:
     """One (algorithm, P) point of Figure 4 on a P-cell KSR-1.
 
     Module-level (and scalar-argued) so a :class:`SweepRunner` can ship
     it to worker processes and cache it by value.
     """
     config = MachineConfig.ksr1(n_cells=n_procs, seed=seed, timer=TimerConfig(enabled=False))
-    return measure_barrier(name, n_procs, machine_config=config, reps=reps, seed=seed)
+    return measure_barrier(
+        name, n_procs, machine_config=config, reps=reps, seed=seed, obs=obs
+    )
 
 
-def figure5_point(name: str, n_procs: int, reps: int, seed: int) -> float:
+def figure5_point(
+    name: str, n_procs: int, reps: int, seed: int, obs: ObsSpec | None = None
+) -> float | tuple[float, ObsCapture]:
     """One (algorithm, P) point of Figure 5 on a two-ring KSR-2."""
     config = MachineConfig.ksr2(
         n_cells=max(n_procs, 33), seed=seed, timer=TimerConfig(enabled=False)
     )
-    return measure_barrier(name, n_procs, machine_config=config, reps=reps, seed=seed)
+    return measure_barrier(
+        name, n_procs, machine_config=config, reps=reps, seed=seed, obs=obs
+    )
 
 
 def _run_sweep(
@@ -113,9 +138,13 @@ def _run_sweep(
     reps: int,
     seed: int,
     runner: SweepRunner | None,
+    obs: ObsSpec | None = None,
+    trace_dir: str | None = None,
 ) -> ExperimentResult:
     if runner is None:
         runner = SweepRunner()
+    if trace_dir is not None and obs is None:
+        obs = ObsSpec()
     result = ExperimentResult(
         experiment_id=experiment_id,
         title=title,
@@ -126,7 +155,12 @@ def _run_sweep(
         for p in proc_counts
         for name in algorithms
     ]
-    values = iter(runner.map(point_func, calls))
+    if obs is not None:
+        for call in calls:
+            call["obs"] = obs
+    sink = trace_sink(experiment_id, trace_dir) if trace_dir is not None else None
+    raw = runner.map(point_func, calls, on_result=sink)
+    values = iter(r[0] if obs is not None else r for r in raw)
     for p in proc_counts:
         row: list = [p]
         for name in algorithms:
@@ -144,6 +178,8 @@ def run_figure4(
     reps: int = 10,
     seed: int = 404,
     runner: SweepRunner | None = None,
+    obs: ObsSpec | None = None,
+    trace_dir: str | None = None,
 ) -> ExperimentResult:
     """Figure 4: the nine barriers on a 32-node KSR-1 (microseconds)."""
     if proc_counts is None:
@@ -159,6 +195,8 @@ def run_figure4(
         reps,
         seed,
         runner,
+        obs=obs,
+        trace_dir=trace_dir,
     )
     _order_notes(result)
     return result
@@ -171,6 +209,8 @@ def run_figure5(
     reps: int = 10,
     seed: int = 404,
     runner: SweepRunner | None = None,
+    obs: ObsSpec | None = None,
+    trace_dir: str | None = None,
 ) -> ExperimentResult:
     """Figure 5: the nine barriers on a 64-node, two-ring KSR-2."""
     if proc_counts is None:
@@ -186,6 +226,8 @@ def run_figure5(
         reps,
         seed,
         runner,
+        obs=obs,
+        trace_dir=trace_dir,
     )
     _order_notes(result)
     crossing = [p for p in result.column("P") if p > 32]

@@ -40,7 +40,10 @@ def _fig2(args) -> ExperimentResult:
 
     procs = [1, 2, 8, 32] if args.quick else [1, 2, 4, 8, 16, 24, 32]
     return run_figure2(
-        proc_counts=procs, samples=400 if args.quick else 1000, runner=args.runner
+        proc_counts=procs,
+        samples=400 if args.quick else 1000,
+        runner=args.runner,
+        trace_dir=args.trace_dir,
     )
 
 
@@ -52,6 +55,7 @@ def _fig3(args) -> ExperimentResult:
         proc_counts=procs,
         ops=30 if args.quick else (500 if args.full else 100),
         runner=args.runner,
+        trace_dir=args.trace_dir,
     )
 
 
@@ -59,14 +63,24 @@ def _fig4(args) -> ExperimentResult:
     from repro.experiments.barriers import run_figure4
 
     procs = [4, 16, 32] if args.quick else [2, 4, 8, 16, 24, 32]
-    return run_figure4(proc_counts=procs, reps=6 if args.quick else 10, runner=args.runner)
+    return run_figure4(
+        proc_counts=procs,
+        reps=6 if args.quick else 10,
+        runner=args.runner,
+        trace_dir=args.trace_dir,
+    )
 
 
 def _fig5(args) -> ExperimentResult:
     from repro.experiments.barriers import run_figure5
 
     procs = [16, 32, 48, 64] if args.quick else [16, 24, 32, 40, 48, 56, 64]
-    return run_figure5(proc_counts=procs, reps=6 if args.quick else 10, runner=args.runner)
+    return run_figure5(
+        proc_counts=procs,
+        reps=6 if args.quick else 10,
+        runner=args.runner,
+        trace_dir=args.trace_dir,
+    )
 
 
 def _other(args) -> ExperimentResult:
@@ -205,6 +219,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="recompute every point instead of reusing .ksr-cache/ "
         "(set KSR_CACHE_DIR to relocate the cache)",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        default=None,
+        help="write one Chrome-trace JSON per sweep point into DIR "
+        "(fig2/fig3/fig4/fig5; view with about:tracing or Perfetto)",
     )
     args = parser.parse_args(argv)
     from repro.experiments.sweep import ResultCache, SweepRunner

@@ -34,6 +34,7 @@ from repro.machine.config import (
     TimerConfig,
 )
 from repro.machine.ksr import KsrMachine
+from repro.obs import Observer, ObsCapture, ObsSpec, trace_sink
 from repro.sim.process import Op, Read, Write
 
 __all__ = ["LatencyMeasurement", "measure_latencies", "run_figure2"]
@@ -98,13 +99,18 @@ def measure_latencies(
     stride_bytes: int | None = None,
     seed: int = 101,
     samples: int = _SAMPLES,
-) -> LatencyMeasurement:
+    obs: ObsSpec | None = None,
+) -> LatencyMeasurement | tuple[LatencyMeasurement, ObsCapture]:
     """One (level, op, P) measurement on a fresh machine.
 
     The default stride is one sub-block for the local level (the
     natural miss granularity of the sub-cache) and one subpage for the
     network level (every timed access is a genuine ring transaction —
     how the published 175-cycle number is defined).
+
+    With ``obs`` set, an :class:`~repro.obs.Observer` rides along
+    (probes are read-only, so the measurement itself is unchanged) and
+    the return value becomes ``(measurement, capture)``.
     """
     if level not in ("local", "network"):
         raise ConfigError(f"unknown level {level!r}")
@@ -113,6 +119,7 @@ def measure_latencies(
     if stride_bytes is None:
         stride_bytes = SUBBLOCK_BYTES if level == "local" else SUBPAGE_BYTES
     machine = _quiet(n_procs, seed)
+    observer = Observer(obs).attach(machine) if obs is not None else None
     mem = SharedMemory(machine)
     # the timed sweep must never wrap, or revisits become cache hits
     words = max(_ARRAY_BYTES, (samples + 1) * stride_bytes) // 8
@@ -151,13 +158,22 @@ def measure_latencies(
         machine.spawn(f"lat-{i}", body(i), i)
     machine.run()
     mean_cycles = sum(timings.values()) / (n_procs * samples)
-    return LatencyMeasurement(
+    measurement = LatencyMeasurement(
         n_procs=n_procs,
         level=level,
         op=op,
         stride_bytes=stride_bytes,
         mean_latency_s=machine.config.seconds(mean_cycles),
     )
+    if observer is not None:
+        capture = observer.capture(
+            f"fig2 {level} {op} P={n_procs}",
+            level=level, op=op, n_procs=n_procs,
+            stride_bytes=stride_bytes, seed=seed, samples=samples,
+        )
+        observer.detach()
+        return measurement, capture
+    return measurement
 
 
 def run_figure2(
@@ -166,17 +182,24 @@ def run_figure2(
     seed: int = 101,
     samples: int = _SAMPLES,
     runner: SweepRunner | None = None,
+    obs: ObsSpec | None = None,
+    trace_dir: str | None = None,
 ) -> ExperimentResult:
     """Reproduce Figure 2 plus the allocation-overhead call-outs.
 
     Each (level, op, P) point runs on a fresh, point-seeded machine, so
     ``runner`` may compute them in parallel and/or from the result
     cache — the assembled table is byte-identical regardless.
+
+    ``trace_dir`` (implies a default ``obs``) writes one Chrome-trace
+    file per point into that directory without changing the table.
     """
     if proc_counts is None:
         proc_counts = [1, 2, 4, 8, 16, 24, 32]
     if runner is None:
         runner = SweepRunner()
+    if trace_dir is not None and obs is None:
+        obs = ObsSpec()
     result = ExperimentResult(
         experiment_id="FIG2",
         title="Read/Write latencies on the KSR (microseconds per access)",
@@ -204,7 +227,12 @@ def run_figure2(
             stride_bytes=PAGE_BYTES, seed=seed, samples=samples,
         )
     )
-    values = iter(runner.map(measure_latencies, calls))
+    if obs is not None:
+        for call in calls:
+            call["obs"] = obs
+    sink = trace_sink("FIG2", trace_dir) if trace_dir is not None else None
+    raw = runner.map(measure_latencies, calls, on_result=sink)
+    values = iter(r[0] if obs is not None else r for r in raw)
     for p in proc_counts:
         row = [p]
         for level in ("local", "network"):

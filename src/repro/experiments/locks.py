@@ -18,6 +18,7 @@ from repro.experiments.sweep import SweepRunner
 from repro.machine.api import SharedMemory
 from repro.machine.config import MachineConfig
 from repro.machine.ksr import KsrMachine
+from repro.obs import Observer, ObsCapture, ObsSpec, trace_sink
 from repro.sync.locks import (
     HardwareExclusiveLock,
     LockWorkloadParams,
@@ -40,10 +41,17 @@ def measure_lock(
     *,
     ops: int = _DEFAULT_OPS,
     seed: int = 303,
-) -> float:
-    """Total seconds for one (lock kind, P, read fraction) point."""
+    obs: ObsSpec | None = None,
+) -> float | tuple[float, ObsCapture]:
+    """Total seconds for one (lock kind, P, read fraction) point.
+
+    With ``obs`` set, an :class:`~repro.obs.Observer` rides along (the
+    probes are read-only, so the timing is unchanged) and the return
+    value becomes ``(seconds, capture)``.
+    """
     config = MachineConfig.ksr1(n_cells=max(2, n_procs), seed=seed)
     machine = KsrMachine(config)
+    observer = Observer(obs).attach(machine) if obs is not None else None
     mem = SharedMemory(machine)
     if kind == "hardware":
         lock = HardwareExclusiveLock(mem)
@@ -55,6 +63,15 @@ def measure_lock(
         ops_per_processor=ops, read_fraction=read_fraction, seed=seed
     )
     result = run_lock_workload(machine, lock, params, n_threads=n_procs)
+    if observer is not None:
+        share = f" {int(read_fraction * 100)}% read" if kind == "rw" else ""
+        capture = observer.capture(
+            f"fig3 {kind}{share} P={n_procs}",
+            kind=kind, n_procs=n_procs, read_fraction=read_fraction,
+            ops=ops, seed=seed,
+        )
+        observer.detach()
+        return result.total_seconds, capture
     return result.total_seconds
 
 
@@ -64,6 +81,8 @@ def run_figure3(
     ops: int = _DEFAULT_OPS,
     seed: int = 303,
     runner: SweepRunner | None = None,
+    obs: ObsSpec | None = None,
+    trace_dir: str | None = None,
 ) -> ExperimentResult:
     """Reproduce Figure 3's seven curves.
 
@@ -71,11 +90,16 @@ def run_figure3(
     with point-local seeding, so ``runner`` may fan them across worker
     processes and/or serve them from the result cache without changing
     a single byte of the table.
+
+    ``trace_dir`` (implies a default ``obs``) writes one Chrome-trace
+    file per point into that directory without changing the table.
     """
     if proc_counts is None:
         proc_counts = [2, 4, 8, 16, 24, 32]
     if runner is None:
         runner = SweepRunner()
+    if trace_dir is not None and obs is None:
+        obs = ObsSpec()
     fractions = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
     result = ExperimentResult(
         experiment_id="FIG3",
@@ -88,7 +112,12 @@ def run_figure3(
         calls.append(dict(kind="hardware", n_procs=p, read_fraction=0.0, ops=ops, seed=seed))
         for f in fractions:
             calls.append(dict(kind="rw", n_procs=p, read_fraction=f, ops=ops, seed=seed))
-    values = iter(runner.map(measure_lock, calls))
+    if obs is not None:
+        for call in calls:
+            call["obs"] = obs
+    sink = trace_sink("FIG3", trace_dir) if trace_dir is not None else None
+    raw = runner.map(measure_lock, calls, on_result=sink)
+    values = iter(r[0] if obs is not None else r for r in raw)
     for p in proc_counts:
         row: list = [p]
         t_excl = next(values)

@@ -86,6 +86,14 @@ class Cell:
     # Process driving
     # ------------------------------------------------------------------
 
+    def set_trace(self, trace: Optional[Trace]) -> None:
+        """Attach (or, with ``None``, detach) the op-record sink.
+
+        The cost model is unaffected: tracing only observes.  Called by
+        :meth:`repro.machine.ksr.KsrMachine.set_trace`.
+        """
+        self.trace = trace
+
     def start(self, process: Process) -> None:
         """Begin executing a thread on this cell."""
         if self.current_process is not None and not self.current_process.finished:

@@ -130,10 +130,21 @@ class KsrMachine:
 
     def total_perf(self) -> PerfMonitor:
         """Performance-monitor counters summed over all cells."""
-        total = PerfMonitor()
+        return PerfMonitor.aggregate(cell.perfmon for cell in self.cells)
+
+    def set_trace(self, trace: Optional[Trace]) -> Optional[Trace]:
+        """Attach ``trace`` to every cell (or detach with ``None``).
+
+        Returns the previously attached trace so an observer can
+        restore it on detach.  Attaching after construction is how
+        :class:`repro.obs.Observer` taps the op stream of a machine it
+        did not build.
+        """
+        previous = self.trace
+        self.trace = trace
         for cell in self.cells:
-            total = total + cell.perfmon
-        return total
+            cell.set_trace(trace)
+        return previous
 
     def reset_perf(self) -> None:
         """Zero every cell's performance monitor."""

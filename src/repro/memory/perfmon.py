@@ -14,6 +14,7 @@ climb with processor count).
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
+from typing import Iterable
 
 __all__ = ["PerfMonitor"]
 
@@ -66,6 +67,19 @@ class PerfMonitor:
             setattr(total, f.name, getattr(self, f.name) + getattr(other, f.name))
         return total
 
+    @classmethod
+    def aggregate(cls, monitors: Iterable["PerfMonitor"]) -> "PerfMonitor":
+        """Sum any number of monitors into a machine-wide total.
+
+        The canonical way to form machine totals; an empty iterable
+        yields a zeroed monitor.
+        """
+        total = cls()
+        for mon in monitors:
+            for f in fields(total):
+                setattr(total, f.name, getattr(total, f.name) + getattr(mon, f.name))
+        return total
+
     @property
     def total_memory_accesses(self) -> int:
         """Sub-cache accesses (hits plus misses)."""
@@ -77,6 +91,33 @@ class PerfMonitor:
         if self.ring_transactions == 0:
             return 0.0
         return self.ring_cycles / self.ring_transactions
+
+    @property
+    def subcache_miss_rate(self) -> float:
+        """Sub-cache misses per access (0 when nothing was accessed)."""
+        accesses = self.total_memory_accesses
+        return self.subcache_misses / accesses if accesses else 0.0
+
+    @property
+    def local_miss_rate(self) -> float:
+        """Local-cache misses per local-cache access (0 when none)."""
+        accesses = self.local_cache_hits + self.local_cache_misses
+        return self.local_cache_misses / accesses if accesses else 0.0
+
+    def derived(self) -> dict[str, float]:
+        """The derived ratios the paper reads off the monitor.
+
+        Keys: ``subcache_miss_rate``, ``local_miss_rate``,
+        ``avg_ring_latency`` and ``ring_wait_fraction`` (share of ring
+        time spent queueing for a slot — the saturation signal).
+        """
+        wait_frac = self.ring_wait_cycles / self.ring_cycles if self.ring_cycles else 0.0
+        return {
+            "subcache_miss_rate": self.subcache_miss_rate,
+            "local_miss_rate": self.local_miss_rate,
+            "avg_ring_latency": self.avg_ring_latency,
+            "ring_wait_fraction": wait_frac,
+        }
 
     def diff(self, earlier: "PerfMonitor") -> "PerfMonitor":
         """Counters accumulated since ``earlier`` (a snapshot copy)."""

@@ -1,0 +1,44 @@
+"""Machine-wide observability: probes, aggregation, export (`ksr-trace`).
+
+The paper's measurements lean on the KSR-1's per-node hardware
+performance monitor; this package is the machine-wide version for the
+simulator.  An :class:`Observer` taps the engine, the rings, the
+coherence protocol and every cell's op stream through zero-cost-when-
+disabled probe seams, aggregates into time-bucketed series
+(:mod:`repro.obs.series`), and exports Chrome-trace JSON, CSV or a
+terminal summary (:mod:`repro.obs.export`, :mod:`repro.obs.summary`)
+— also via the ``ksr-trace`` command line (:mod:`repro.obs.cli`).
+
+Captures are pure values: a traced sweep point remains a deterministic
+function of its arguments, so `ksr-experiments --jobs N` and the result
+cache hold for traced runs, byte for byte.
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    export_chrome,
+    export_csv,
+    point_slug,
+    trace_sink,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.probes import Observer, ObsCapture, ObsSpec
+from repro.obs.series import MachineSeries, SeriesView
+from repro.obs.summary import render_summary
+
+__all__ = [
+    "MachineSeries",
+    "ObsCapture",
+    "ObsSpec",
+    "Observer",
+    "SeriesView",
+    "chrome_trace_events",
+    "export_chrome",
+    "export_csv",
+    "point_slug",
+    "render_summary",
+    "trace_sink",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

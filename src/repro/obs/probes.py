@@ -1,0 +1,207 @@
+"""Probe wiring: attach one observer to a whole machine.
+
+The KSR-1's hardware performance monitor is per-node; the paper's
+analysis is machine-wide.  :class:`Observer` closes that gap: it hooks
+the engine, every ring, the coherence protocol and every cell's op
+stream through the lightweight probe seams those modules expose, feeds
+a :class:`~repro.obs.series.MachineSeries`, and snapshots everything
+into one picklable :class:`ObsCapture` at the end of a run.
+
+Design constraints honoured here:
+
+* **Zero cost when absent** — every probe seam is an attribute that is
+  ``None`` by default; instrumented code pays one branch, no calls.
+* **Read-only** — probes never schedule events, draw random numbers or
+  mutate simulator state, so an observed run's simulated timing is
+  bit-identical to an unobserved one (tested).
+* **Pure captures** — an :class:`ObsCapture` is a plain frozen
+  dataclass of numbers, tuples and dicts, so sweep workers can pickle
+  it back to the parent and the result cache can store it; exports from
+  equal captures are byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import SimulationError
+from repro.obs.series import MachineSeries, SeriesView
+from repro.sim.tracing import Trace, TraceRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.machine.ksr import KsrMachine
+
+__all__ = ["ObsSpec", "ObsCapture", "Observer"]
+
+
+@dataclass(frozen=True)
+class ObsSpec:
+    """Observability options for one run.
+
+    Frozen with a deterministic ``repr`` on purpose: sweep point
+    functions take an ``ObsSpec`` as a keyword argument, and the result
+    cache keys points by the canonical repr of their arguments.
+    """
+
+    #: Width of one aggregation bucket in simulated CPU cycles.
+    bucket_cycles: float = 10_000.0
+    #: Ring-buffer capacity of the op trace (``None`` = unbounded).
+    #: Evictions are counted and surfaced in every export.
+    max_records: Optional[int] = 20_000
+
+
+@dataclass(frozen=True)
+class ObsCapture:
+    """Everything observed during one run, frozen and picklable."""
+
+    #: Human-readable run label ("fig3 rw 40% P=16", ...).
+    label: str
+    n_cells: int
+    #: Simulated-clock rate, for cycle → wall-time conversion in exports.
+    clock_hz: float
+    #: Simulation time when the capture was taken.
+    end_cycles: float
+    #: Bucketed machine-wide series (raw + derived channels).
+    view: SeriesView
+    #: Op records retained by the (possibly capped) trace.
+    records: tuple[TraceRecord, ...]
+    #: Records evicted by the trace ring buffer (0 when uncapped).
+    dropped_records: int
+    #: Per-cell performance-monitor snapshots, indexed by cell id.
+    perfmon: tuple[dict[str, float], ...]
+    #: Machine-wide counter totals (sum of ``perfmon``).
+    totals: dict[str, float]
+    #: Derived machine-wide ratios (miss rates, ring wait fraction).
+    derived: dict[str, float]
+    #: Directory sharing profile at capture time.
+    directory: dict[str, int]
+    #: Transit cycles carried per ring label.
+    ring_transit: dict[str, float]
+    #: Free-form experiment metadata (arguments, seeds, ...).
+    meta: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def end_seconds(self) -> float:
+        """Simulated end time in seconds."""
+        return self.end_cycles / self.clock_hz
+
+    def us(self, cycles: float) -> float:
+        """Convert simulated cycles to simulated microseconds."""
+        return cycles / self.clock_hz * 1e6
+
+
+class _SeriesTrace(Trace):
+    """A :class:`Trace` that also feeds the bucketed series.
+
+    Bucketing happens for *every* record, including ones later evicted
+    by the ring buffer, so the series stay exact however small the
+    record cap is.
+    """
+
+    def __init__(self, capacity: Optional[int], series: MachineSeries):
+        super().__init__(capacity=capacity)
+        self._series = series
+
+    def record(
+        self,
+        time: float,
+        cell_id: int,
+        process: str,
+        kind: str,
+        addr: int | None,
+        cycles: float,
+        detail: str = "",
+    ) -> None:
+        """Bucket the op, then retain it subject to the ring buffer."""
+        self._series.on_op(time, kind, detail, cycles)
+        super().record(time, cell_id, process, kind, addr, cycles, detail)
+
+
+class Observer:
+    """Attaches to a :class:`~repro.machine.ksr.KsrMachine` and records.
+
+    Usage::
+
+        machine = KsrMachine(config)
+        obs = Observer(ObsSpec(bucket_cycles=5000)).attach(machine)
+        ...  # spawn threads, machine.run()
+        capture = obs.capture("my workload")
+        obs.detach()
+
+    Attach before running; probes only see what fires while attached.
+    """
+
+    def __init__(self, spec: ObsSpec | None = None):
+        self.spec = spec or ObsSpec()
+        self.series: MachineSeries | None = None
+        self.trace: _SeriesTrace | None = None
+        self._machine: "KsrMachine" | None = None
+        self._prev_trace: Trace | None = None
+
+    @property
+    def attached(self) -> bool:
+        """Whether the observer is currently wired into a machine."""
+        return self._machine is not None
+
+    def attach(self, machine: "KsrMachine") -> "Observer":
+        """Wire every probe seam of ``machine`` to this observer.
+
+        Raises :class:`~repro.errors.SimulationError` if this observer
+        is already attached or the machine already carries probes (two
+        observers on one machine would double-count).
+        """
+        if self._machine is not None:
+            raise SimulationError("observer is already attached to a machine")
+        if machine.engine.probe is not None or machine.protocol.probe is not None:
+            raise SimulationError("machine already has an observer attached")
+        self._machine = machine
+        self.series = MachineSeries(
+            self.spec.bucket_cycles, total_slots=machine.hierarchy.total_slots
+        )
+        machine.engine.probe = self.series.on_event
+        machine.protocol.probe = self.series
+        for ring in machine.hierarchy.all_rings:
+            ring.probe = self.series.on_ring
+        self.trace = _SeriesTrace(self.spec.max_records, self.series)
+        self._prev_trace = machine.set_trace(self.trace)
+        return self
+
+    def detach(self) -> None:
+        """Unhook every probe and restore the machine's previous trace."""
+        machine = self._machine
+        if machine is None:
+            return
+        machine.engine.probe = None
+        machine.protocol.probe = None
+        for ring in machine.hierarchy.all_rings:
+            ring.probe = None
+        machine.set_trace(self._prev_trace)
+        self._machine = None
+        self._prev_trace = None
+
+    def capture(self, label: str, **meta: str) -> ObsCapture:
+        """Snapshot everything observed so far into an :class:`ObsCapture`.
+
+        ``meta`` key/values are stored verbatim (stringified) in the
+        capture and surfaced by the exports.
+        """
+        machine = self._machine
+        if machine is None or self.series is None or self.trace is None:
+            raise SimulationError("capture() requires an attached observer")
+        totals = machine.total_perf()
+        return ObsCapture(
+            label=label,
+            n_cells=machine.config.n_cells,
+            clock_hz=machine.config.clock_hz,
+            end_cycles=machine.engine.now,
+            view=self.series.view(),
+            records=tuple(self.trace.records),
+            dropped_records=self.trace.dropped,
+            perfmon=tuple(cell.perfmon.snapshot() for cell in machine.cells),
+            totals=totals.snapshot(),
+            derived=totals.derived(),
+            directory=machine.protocol.directory.summary(),
+            ring_transit=self.series.per_ring_transit(),
+            meta={k: str(v) for k, v in sorted(meta.items())},
+        )

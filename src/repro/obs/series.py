@@ -1,0 +1,184 @@
+"""Machine-wide time-bucketed series.
+
+The paper's scalability arguments are all *rates over time*: how busy
+the ring is, how long cells queue for a slot, how the miss mix shifts
+as processors are added.  :class:`MachineSeries` accumulates exactly
+those quantities into fixed-width buckets of simulated time as probe
+callbacks arrive, and derives the saturation metrics at read-out.
+
+Accumulation is pure integer/float bookkeeping keyed by
+``int(time // bucket_cycles)`` — no engine events are scheduled, so an
+attached observer never perturbs simulated timing, and a traced run
+produces byte-identical results to an untraced one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MachineSeries", "SeriesView"]
+
+#: Channel names accumulated per bucket (raw sums, before deriving).
+RAW_CHANNELS = (
+    "events",
+    "ops",
+    "op_cycles",
+    "reads",
+    "read_subcache_hits",
+    "read_local_hits",
+    "writes",
+    "remote_ops",
+    "cold_ops",
+    "ring_tx",
+    "ring_wait_cycles",
+    "ring_transit_cycles",
+    "invalidations",
+)
+
+#: Derived channel names computed by :meth:`MachineSeries.view`.
+DERIVED_CHANNELS = (
+    "ring_utilization",
+    "slot_wait_fraction",
+    "mean_slot_wait_cycles",
+    "read_subcache_miss_rate",
+    "read_remote_rate",
+)
+
+
+@dataclass(frozen=True)
+class SeriesView:
+    """Read-out of one run's bucketed series.
+
+    ``series`` maps channel name to ``((bucket_start_cycles, value),
+    ...)`` tuples, sorted by time, covering raw and derived channels.
+    Tuples (not lists) so the view is hashable-ish, picklable and
+    cannot be mutated after capture.
+    """
+
+    bucket_cycles: float
+    series: dict[str, tuple[tuple[float, float], ...]] = field(default_factory=dict)
+
+    def channel(self, name: str) -> tuple[tuple[float, float], ...]:
+        """One channel's points (empty tuple when nothing accumulated)."""
+        return self.series.get(name, ())
+
+    def total(self, name: str) -> float:
+        """Sum of one raw channel over all buckets."""
+        return sum(v for _, v in self.series.get(name, ()))
+
+    def peak(self, name: str) -> float:
+        """Maximum bucket value of one channel (0.0 when empty)."""
+        points = self.series.get(name, ())
+        return max((v for _, v in points), default=0.0)
+
+
+class MachineSeries:
+    """Accumulates probe callbacks into fixed-width time buckets.
+
+    Parameters
+    ----------
+    bucket_cycles:
+        Bucket width in simulated CPU cycles.
+    total_slots:
+        Slot count summed over every ring of the machine; the
+        denominator of the ``ring_utilization`` derived channel.
+    """
+
+    def __init__(self, bucket_cycles: float, total_slots: int = 0):
+        if bucket_cycles <= 0:
+            raise ValueError(f"bucket_cycles must be positive, got {bucket_cycles}")
+        self.bucket_cycles = float(bucket_cycles)
+        self.total_slots = total_slots
+        self._buckets: dict[int, dict[str, float]] = {}
+        self._per_ring_transit: dict[str, float] = {}
+
+    # -- accumulation (probe-facing) -----------------------------------
+
+    def _bucket(self, time: float) -> dict[str, float]:
+        key = int(time // self.bucket_cycles)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = dict.fromkeys(RAW_CHANNELS, 0.0)
+        return bucket
+
+    def on_event(self, time: float) -> None:
+        """Engine probe: one simulator event fired at ``time``."""
+        self._bucket(time)["events"] += 1
+
+    def on_op(self, time: float, kind: str, detail: str, cycles: float) -> None:
+        """Op-trace probe: one op of ``kind`` charged ``cycles``.
+
+        ``detail`` is the cell's latency classification ("subcache",
+        "local-cache", "remote", "cold", "local", ...) and drives the
+        bucketed miss-mix channels.
+        """
+        bucket = self._bucket(time)
+        bucket["ops"] += 1
+        bucket["op_cycles"] += cycles
+        if kind == "read":
+            bucket["reads"] += 1
+            if detail == "subcache":
+                bucket["read_subcache_hits"] += 1
+            elif detail == "local-cache":
+                bucket["read_local_hits"] += 1
+        elif kind == "write":
+            bucket["writes"] += 1
+        if detail == "remote":
+            bucket["remote_ops"] += 1
+        elif detail == "cold":
+            bucket["cold_ops"] += 1
+
+    def on_ring(self, ring, requested_at: float, wait: float, transit: float) -> None:
+        """Ring probe: one slot grant on ``ring`` (any level)."""
+        bucket = self._bucket(requested_at)
+        bucket["ring_tx"] += 1
+        bucket["ring_wait_cycles"] += wait
+        bucket["ring_transit_cycles"] += transit
+        label = ring.label
+        self._per_ring_transit[label] = self._per_ring_transit.get(label, 0.0) + transit
+
+    def on_invalidations(self, now: float, n_losers: int) -> None:
+        """Protocol probe: an invalidation round hit ``n_losers`` cells."""
+        self._bucket(now)["invalidations"] += n_losers
+
+    # -- read-out ------------------------------------------------------
+
+    def per_ring_transit(self) -> dict[str, float]:
+        """Total transit cycles carried per ring label (sorted copy)."""
+        return dict(sorted(self._per_ring_transit.items()))
+
+    def view(self) -> SeriesView:
+        """Freeze the accumulated buckets into a :class:`SeriesView`.
+
+        Raw channels are emitted as accumulated; derived channels are
+        computed per bucket: ring utilization (transit over available
+        slot-cycles), slot-wait fraction and mean slot wait (the
+        saturation signals), and the read miss mix.
+        """
+        keys = sorted(self._buckets)
+        width = self.bucket_cycles
+        out: dict[str, list[tuple[float, float]]] = {
+            name: [] for name in (*RAW_CHANNELS, *DERIVED_CHANNELS)
+        }
+        slot_cycles = self.total_slots * width
+        for key in keys:
+            start = key * width
+            b = self._buckets[key]
+            for name in RAW_CHANNELS:
+                out[name].append((start, b[name]))
+            transit = b["ring_transit_cycles"]
+            wait = b["ring_wait_cycles"]
+            tx = b["ring_tx"]
+            reads = b["reads"]
+            ops = b["ops"]
+            util = min(1.0, transit / slot_cycles) if slot_cycles > 0 else 0.0
+            out["ring_utilization"].append((start, util))
+            denom = wait + transit
+            out["slot_wait_fraction"].append((start, wait / denom if denom else 0.0))
+            out["mean_slot_wait_cycles"].append((start, wait / tx if tx else 0.0))
+            out["read_subcache_miss_rate"].append(
+                (start, 1.0 - b["read_subcache_hits"] / reads if reads else 0.0)
+            )
+            out["read_remote_rate"].append((start, b["remote_ops"] / ops if ops else 0.0))
+        frozen = {name: tuple(points) for name, points in out.items()}
+        return SeriesView(bucket_cycles=width, series=frozen)

@@ -1,0 +1,75 @@
+"""Terminal summary of one or more captures.
+
+The quick look before reaching for a trace viewer: per-run totals, the
+derived hardware-monitor ratios the paper reasons with (miss rates,
+mean ring latency, slot-wait fraction) and the peak saturation signals
+from the bucketed series, rendered with the shared fixed-width
+:class:`~repro.util.tables.Table`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.obs.probes import ObsCapture
+from repro.util.tables import Table
+
+__all__ = ["render_summary"]
+
+
+def render_summary(captures: Sequence[ObsCapture]) -> str:
+    """Render a machine-wide observability report for ``captures``."""
+    table = Table(
+        [
+            "run",
+            "cells",
+            "sim ms",
+            "ops",
+            "ring tx",
+            "avg ring cy",
+            "wait frac",
+            "peak util",
+            "sc miss",
+            "lc miss",
+            "invals",
+            "dropped",
+        ],
+        title="Machine-wide observability summary",
+    )
+    for c in captures:
+        totals = c.totals
+        table.add_row(
+            [
+                c.label,
+                c.n_cells,
+                round(c.end_seconds * 1e3, 3),
+                int(totals["subcache_hits"] + totals["subcache_misses"]),
+                int(totals["ring_transactions"]),
+                round(c.derived["avg_ring_latency"], 1),
+                round(c.derived["ring_wait_fraction"], 4),
+                round(c.view.peak("ring_utilization"), 4),
+                round(c.derived["subcache_miss_rate"], 4),
+                round(c.derived["local_miss_rate"], 4),
+                int(totals["invalidations_received"]),
+                c.dropped_records,
+            ]
+        )
+    lines = [table.render()]
+    for c in captures:
+        ring_parts = ", ".join(
+            f"{label}={transit:.0f}cy" for label, transit in c.ring_transit.items()
+        )
+        if ring_parts:
+            lines.append(f"  {c.label}: ring transit {ring_parts}")
+        d = c.directory
+        lines.append(
+            f"  {c.label}: directory {d['subpages']} subpages "
+            f"({d['owned_exclusive']} owned, {d['shared_multi']} shared, "
+            f"{d['placeholders']} place-holders)"
+        )
+        if c.dropped_records:
+            lines.append(
+                f"  {c.label}: trace ring buffer dropped {c.dropped_records} "
+                f"older records (kept the most recent {len(c.records)})"
+            )
+    return "\n".join(lines)

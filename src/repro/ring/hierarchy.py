@@ -59,6 +59,9 @@ class RingHierarchy:
             slots_per_subring=config.ring.slots_per_subring * self.LEVEL1_BANDWIDTH_FACTOR,
         )
         self.level1 = SlottedRing(level1_cfg, seeds.rng("ring/level1"))
+        for i, ring in enumerate(self.leaf_rings):
+            ring.label = f"leaf{i}"
+        self.level1.label = "level1"
         # Hot-path lookup table: cell ids are validated once here, so
         # per-transaction routing is a plain list index.
         self._ring_index = [config.ring_of(c) for c in range(config.n_cells)]
@@ -124,6 +127,21 @@ class RingHierarchy:
     def n_transactions(self) -> int:
         """Total transactions across all rings."""
         return self.level1.n_transactions + sum(r.n_transactions for r in self.leaf_rings)
+
+    @property
+    def all_rings(self) -> list["SlottedRing"]:
+        """Every ring of the machine, leaves first then level-1.
+
+        The level-1 ring is included even on single-ring machines where
+        it never carries traffic; observers that iterate this list see
+        one stable ordering regardless of geometry.
+        """
+        return [*self.leaf_rings, self.level1]
+
+    @property
+    def total_slots(self) -> int:
+        """Slot count summed over every ring (utilization denominator)."""
+        return sum(ring.config.total_slots for ring in self.all_rings)
 
     def validate_cells(self, *cells: int) -> None:
         """Raise ConfigError for out-of-range cell ids (test helper)."""

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from heapq import heapreplace
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -105,6 +106,13 @@ class SlottedRing:
         self.n_transactions = 0
         self.total_wait_cycles = 0.0
         self.total_transit_cycles = 0.0
+        #: Name used by observability exports ("leaf0", "level1", ...);
+        #: assigned by :class:`~repro.ring.hierarchy.RingHierarchy`.
+        self.label = "ring"
+        #: Opt-in observability probe called per transaction with
+        #: ``(ring, requested_at, wait_cycles, transit_cycles)`` — see
+        #: :mod:`repro.obs`.  ``None`` (the default) costs one branch.
+        self.probe: Optional[Callable[["SlottedRing", float, float, float], None]] = None
 
     def subring_of(self, subpage_id: int) -> int:
         """Sub-ring carrying traffic for ``subpage_id`` (address
@@ -144,6 +152,8 @@ class SlottedRing:
         self.n_transactions += 1
         self.total_wait_cycles += injected - now
         self.total_transit_cycles += completed - injected
+        if self.probe is not None:
+            self.probe(self, now, injected - now, completed - injected)
         return RingGrant(now, injected, completed, subring)
 
     def piggyback_window(self, grant: RingGrant) -> tuple[float, float]:

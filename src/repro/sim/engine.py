@@ -15,9 +15,12 @@ Two opt-in hooks support the determinism auditing in
 :mod:`repro.analysis.races`: :attr:`Engine.audit_hook` observes every
 event just before it fires, and :meth:`Engine.shuffle_same_time_ties`
 replaces the same-instant FIFO order with a seeded random order so a
-harness can detect outcomes that depend on tie-breaking.  Neither hook
-affects a run unless explicitly installed; :meth:`Engine.run` samples
-``audit_hook`` when it starts, so install it before running.
+harness can detect outcomes that depend on tie-breaking.  A third hook,
+:attr:`Engine.probe`, is the observability seam (:mod:`repro.obs`): it
+receives each event's fire time *after* the clock advances, so a
+machine-wide sampler can bucket event throughput by simulated time.
+No hook affects a run unless explicitly installed; :meth:`Engine.run`
+samples them when it starts, so install them before running.
 
 Wall-clock throughput (events/sec) is metered through
 :mod:`repro.util.wallclock` and exposed via :attr:`Engine.stats`; the
@@ -112,6 +115,10 @@ class Engine:
         #: Opt-in observer called with each event just before it fires
         #: (see :mod:`repro.analysis.races`).  ``None`` in normal runs.
         self.audit_hook: Optional[Callable[[Event], None]] = None
+        #: Opt-in observability probe called with each event's fire time
+        #: (see :mod:`repro.obs`).  ``None`` — the default — costs one
+        #: branch per :meth:`run` call, nothing per event.
+        self.probe: Optional[Callable[[float], None]] = None
 
     def shuffle_same_time_ties(self, rng: Any) -> None:
         """Order same-instant events randomly (seeded) instead of FIFO.
@@ -184,7 +191,12 @@ class Engine:
         ``until`` is an absolute simulation time; events scheduled
         beyond it remain queued and ``now`` advances to ``until``.
         """
-        if self.audit_hook is not None or until is not None or max_events is not None:
+        if (
+            self.audit_hook is not None
+            or self.probe is not None
+            or until is not None
+            or max_events is not None
+        ):
             self._run_guarded(until, max_events)
             return
         # Fast path: no audit hook, no horizon, no budget.  Pops the
@@ -219,6 +231,7 @@ class Engine:
         queue = self._queue
         pop = heapq.heappop
         audit = self.audit_hook
+        probe = self.probe
         remaining = -1 if max_events is None else max_events
         start = perf_counter()
         try:
@@ -241,6 +254,8 @@ class Engine:
                 remaining -= 1
                 if audit is not None:
                     audit(event)
+                if probe is not None:
+                    probe(time)
                 event.callback(*event.args)
             if until is not None and until > self._now:
                 self._now = until

@@ -3,11 +3,21 @@
 A :class:`Trace` can be attached to a machine to record every executed
 op with its start time and charged latency.  Used by tests to assert on
 protocol behaviour (e.g. "the second read of an invalidated flag was a
-snarf, not a ring transaction") and by examples to illustrate it.
+snarf, not a ring transaction"), by examples to illustrate it, and by
+the observability pipeline (:mod:`repro.obs`) as the op-level record
+stream behind Chrome-trace export.
+
+Long runs produce millions of records; an unbounded trace would grow
+without limit.  ``Trace(capacity=N)`` therefore acts as a *ring buffer*:
+the most recent ``N`` records are retained, older ones are evicted, and
+:attr:`Trace.dropped` counts the evictions so any export can state
+exactly how much history was shed (`repro.obs` surfaces it in the
+Chrome-trace metadata).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -36,14 +46,20 @@ class TraceRecord:
 
 
 class Trace:
-    """Append-only container of :class:`TraceRecord`.
+    """Bounded (or unbounded) container of :class:`TraceRecord`.
+
+    With ``capacity=None`` (the default) every record is kept.  With a
+    capacity the trace is a ring buffer: appending past capacity evicts
+    the *oldest* record and increments :attr:`dropped`, so the trace
+    always holds the most recent window of execution.
 
     Filtering helpers keep test assertions readable.
     """
 
     def __init__(self, capacity: int | None = None):
-        self.records: list[TraceRecord] = []
+        self._records: deque[TraceRecord] = deque(maxlen=capacity)
         self.capacity = capacity
+        #: Records evicted by the ring buffer since construction.
         self.dropped = 0
 
     def record(
@@ -56,33 +72,40 @@ class Trace:
         cycles: float,
         detail: str = "",
     ) -> None:
-        """Append a record (drops silently past ``capacity``)."""
-        if self.capacity is not None and len(self.records) >= self.capacity:
-            self.dropped += 1
-            return
-        self.records.append(TraceRecord(time, cell_id, process, kind, addr, cycles, detail))
+        """Append a record (evicting the oldest one past ``capacity``)."""
+        if self.capacity is not None and len(self._records) == self.capacity:
+            self.dropped += 1  # the append below evicts the oldest record
+        self._records.append(
+            TraceRecord(time, cell_id, process, kind, addr, cycles, detail)
+        )
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        """The retained records, oldest first (a copy)."""
+        return list(self._records)
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self._records)
 
     def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self.records)
+        return iter(self._records)
 
     def by_kind(self, kind: str) -> list[TraceRecord]:
         """All records of one op kind (``'read'``, ``'poststore'``, ...)."""
-        return [r for r in self.records if r.kind == kind]
+        return [r for r in self._records if r.kind == kind]
 
     def by_cell(self, cell_id: int) -> list[TraceRecord]:
         """All records from one cell."""
-        return [r for r in self.records if r.cell_id == cell_id]
+        return [r for r in self._records if r.cell_id == cell_id]
 
     def by_addr(self, addr: int) -> list[TraceRecord]:
         """All records touching one address."""
-        return [r for r in self.records if r.addr == addr]
+        return [r for r in self._records if r.addr == addr]
 
     def dump(self, limit: int = 50) -> str:
-        """The first ``limit`` records, one per line."""
-        lines = [str(r) for r in self.records[:limit]]
-        if len(self.records) > limit:
-            lines.append(f"... {len(self.records) - limit} more")
+        """The first ``limit`` retained records, one per line."""
+        kept = list(self._records)
+        lines = [str(r) for r in kept[:limit]]
+        if len(kept) > limit:
+            lines.append(f"... {len(kept) - limit} more")
         return "\n".join(lines)

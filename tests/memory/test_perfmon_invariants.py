@@ -1,0 +1,118 @@
+"""Property tests for the performance monitor's accounting invariants.
+
+Two layers: algebraic properties of :class:`PerfMonitor` itself
+(hypothesis over synthetic counter values), and run-level invariants
+checked on small simulated workloads (the counters a real machine
+produces must satisfy the relations the paper's analysis relies on).
+"""
+
+from dataclasses import fields
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.api import SharedMemory
+from repro.machine.config import MachineConfig
+from repro.machine.ksr import KsrMachine
+from repro.memory.perfmon import PerfMonitor
+from repro.sync.locks import LockWorkloadParams, TicketReadWriteLock, run_lock_workload
+
+
+def _monitors():
+    """Strategy: a PerfMonitor with arbitrary non-negative counters."""
+    kwargs = {}
+    for f in fields(PerfMonitor):
+        if isinstance(f.default, float):
+            kwargs[f.name] = st.floats(0.0, 1e9, allow_nan=False, allow_infinity=False)
+        else:
+            kwargs[f.name] = st.integers(0, 10**9)
+    return st.builds(PerfMonitor, **kwargs)
+
+
+class TestAlgebra:
+    @settings(max_examples=50, deadline=None)
+    @given(pm=_monitors())
+    def test_accesses_are_hits_plus_misses(self, pm):
+        assert pm.total_memory_accesses == pm.subcache_hits + pm.subcache_misses
+
+    @settings(max_examples=50, deadline=None)
+    @given(monitors=st.lists(_monitors(), max_size=5))
+    def test_aggregate_is_fieldwise_sum(self, monitors):
+        total = PerfMonitor.aggregate(monitors)
+        for f in fields(PerfMonitor):
+            assert getattr(total, f.name) == pytest.approx(
+                sum(getattr(m, f.name) for m in monitors)
+            )
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=_monitors(), b=_monitors())
+    def test_aggregate_matches_addition(self, a, b):
+        assert PerfMonitor.aggregate([a, b]).snapshot() == (a + b).snapshot()
+
+    @settings(max_examples=50, deadline=None)
+    @given(pm=_monitors())
+    def test_reset_zeroes_everything(self, pm):
+        pm.reset()
+        assert all(v == 0 for v in pm.snapshot().values())
+        assert pm.derived() == {
+            "subcache_miss_rate": 0.0,
+            "local_miss_rate": 0.0,
+            "avg_ring_latency": 0.0,
+            "ring_wait_fraction": 0.0,
+        }
+
+    @settings(max_examples=50, deadline=None)
+    @given(pm=_monitors())
+    def test_rates_are_proper_fractions(self, pm):
+        assert 0.0 <= pm.subcache_miss_rate <= 1.0
+        assert 0.0 <= pm.local_miss_rate <= 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=_monitors(), b=_monitors())
+    def test_diff_inverts_addition(self, a, b):
+        combined = a + b
+        recovered = combined.diff(a)
+        for f in fields(PerfMonitor):
+            # float counters lose low bits when a huge a meets a tiny b:
+            # allow the cancellation error of (a + b) - a
+            tol = max(abs(getattr(a, f.name)), 1.0) * 1e-9
+            assert getattr(recovered, f.name) == pytest.approx(
+                getattr(b, f.name), rel=1e-9, abs=tol
+            )
+
+
+def _run_small_machine(n_procs: int, read_fraction: float, seed: int) -> KsrMachine:
+    """Run a tiny lock workload and return the machine for inspection."""
+    config = MachineConfig.ksr1(n_cells=n_procs, seed=seed)
+    machine = KsrMachine(config)
+    lock = TicketReadWriteLock(SharedMemory(machine))
+    params = LockWorkloadParams(
+        ops_per_processor=4, read_fraction=read_fraction, seed=seed
+    )
+    run_lock_workload(machine, lock, params, n_threads=n_procs)
+    return machine
+
+
+class TestRunInvariants:
+    @settings(max_examples=6, deadline=None)
+    @given(
+        n_procs=st.integers(2, 4),
+        read_fraction=st.sampled_from([0.0, 0.5, 1.0]),
+        seed=st.integers(0, 2**16),
+    )
+    def test_counters_from_a_real_run(self, n_procs, read_fraction, seed):
+        machine = _run_small_machine(n_procs, read_fraction, seed)
+        for cell in machine.cells:
+            pm = cell.perfmon
+            assert pm.total_memory_accesses == pm.subcache_hits + pm.subcache_misses
+            assert pm.ring_wait_cycles <= pm.ring_cycles
+            assert pm.ring_cycles >= 0.0
+            # a local-cache lookup only happens on a sub-cache miss
+            assert pm.local_cache_hits + pm.local_cache_misses <= pm.subcache_misses
+        total = machine.total_perf()
+        expected = PerfMonitor.aggregate(cell.perfmon for cell in machine.cells)
+        assert total.snapshot() == expected.snapshot()
+        assert total.ring_wait_cycles <= total.ring_cycles
+        machine.reset_perf()
+        assert all(v == 0 for v in machine.total_perf().snapshot().values())

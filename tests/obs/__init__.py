@@ -1,0 +1,1 @@
+"""Tests for the machine-wide observability pipeline (repro.obs)."""

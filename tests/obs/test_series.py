@@ -1,0 +1,127 @@
+"""Tests for machine-wide time-bucketed series accumulation."""
+
+import pytest
+
+from repro.obs.series import DERIVED_CHANNELS, RAW_CHANNELS, MachineSeries, SeriesView
+
+
+class _Ring:
+    label = "leaf0"
+
+
+class _OtherRing:
+    label = "level1"
+
+
+class TestBucketing:
+    def test_events_land_in_their_bucket(self):
+        s = MachineSeries(100.0)
+        s.on_event(0.0)
+        s.on_event(99.999)
+        s.on_event(100.0)
+        view = s.view()
+        assert view.channel("events") == ((0.0, 2.0), (100.0, 1.0))
+
+    def test_bucket_width_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MachineSeries(0.0)
+        with pytest.raises(ValueError):
+            MachineSeries(-5.0)
+
+    def test_view_covers_every_channel(self):
+        s = MachineSeries(10.0)
+        s.on_op(1.0, "read", "subcache", 2.0)
+        view = s.view()
+        for name in (*RAW_CHANNELS, *DERIVED_CHANNELS):
+            assert name in view.series
+
+    def test_empty_series(self):
+        view = MachineSeries(10.0).view()
+        assert view.channel("ops") == ()
+        assert view.total("ops") == 0.0
+        assert view.peak("ring_utilization") == 0.0
+
+
+class TestOpClassification:
+    def test_read_hit_levels(self):
+        s = MachineSeries(1000.0)
+        s.on_op(0.0, "read", "subcache", 2.0)
+        s.on_op(1.0, "read", "local-cache", 18.0)
+        s.on_op(2.0, "read", "remote", 180.0)
+        s.on_op(3.0, "write", "", 20.0)
+        s.on_op(4.0, "write", "cold", 40.0)
+        view = s.view()
+        assert view.total("ops") == 5
+        assert view.total("reads") == 3
+        assert view.total("writes") == 2
+        assert view.total("read_subcache_hits") == 1
+        assert view.total("read_local_hits") == 1
+        assert view.total("remote_ops") == 1
+        assert view.total("cold_ops") == 1
+        assert view.total("op_cycles") == pytest.approx(260.0)
+
+    def test_read_miss_rates(self):
+        s = MachineSeries(1000.0)
+        s.on_op(0.0, "read", "subcache", 2.0)
+        s.on_op(1.0, "read", "remote", 180.0)
+        view = s.view()
+        ((_, miss_rate),) = view.channel("read_subcache_miss_rate")
+        assert miss_rate == pytest.approx(0.5)
+        ((_, remote_rate),) = view.channel("read_remote_rate")
+        assert remote_rate == pytest.approx(0.5)
+
+
+class TestRingChannels:
+    def test_utilization_uses_total_slots(self):
+        s = MachineSeries(100.0, total_slots=10)
+        s.on_ring(_Ring(), 0.0, 0.0, 250.0)  # 250 of 1000 slot-cycles
+        view = s.view()
+        ((_, util),) = view.channel("ring_utilization")
+        assert util == pytest.approx(0.25)
+
+    def test_utilization_capped_at_one(self):
+        s = MachineSeries(100.0, total_slots=1)
+        s.on_ring(_Ring(), 0.0, 0.0, 5000.0)
+        assert s.view().peak("ring_utilization") == 1.0
+
+    def test_utilization_zero_without_slots(self):
+        s = MachineSeries(100.0)  # total_slots defaults to 0
+        s.on_ring(_Ring(), 0.0, 0.0, 250.0)
+        assert s.view().peak("ring_utilization") == 0.0
+
+    def test_wait_channels(self):
+        s = MachineSeries(100.0, total_slots=10)
+        s.on_ring(_Ring(), 0.0, 30.0, 90.0)
+        s.on_ring(_Ring(), 1.0, 10.0, 70.0)
+        view = s.view()
+        ((_, frac),) = view.channel("slot_wait_fraction")
+        assert frac == pytest.approx(40.0 / 200.0)
+        ((_, mean_wait),) = view.channel("mean_slot_wait_cycles")
+        assert mean_wait == pytest.approx(20.0)
+        assert view.total("ring_tx") == 2
+
+    def test_per_ring_transit(self):
+        s = MachineSeries(100.0)
+        s.on_ring(_Ring(), 0.0, 0.0, 50.0)
+        s.on_ring(_OtherRing(), 0.0, 0.0, 30.0)
+        s.on_ring(_Ring(), 5.0, 0.0, 20.0)
+        assert s.per_ring_transit() == {"leaf0": 70.0, "level1": 30.0}
+
+    def test_invalidations(self):
+        s = MachineSeries(100.0)
+        s.on_invalidations(10.0, 3)
+        s.on_invalidations(20.0, 2)
+        assert s.view().total("invalidations") == 5
+
+
+class TestSeriesView:
+    def test_view_is_frozen_and_ordered(self):
+        s = MachineSeries(10.0)
+        s.on_event(25.0)
+        s.on_event(5.0)
+        view = s.view()
+        assert isinstance(view, SeriesView)
+        starts = [t for t, _ in view.channel("events")]
+        assert starts == sorted(starts) == [0.0, 20.0]
+        with pytest.raises(AttributeError):
+            view.bucket_cycles = 1.0

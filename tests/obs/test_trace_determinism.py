@@ -1,0 +1,42 @@
+"""Traced runs are deterministic: serial, parallel and repeated runs
+of the same points export byte-identical Chrome traces.
+
+This is the observability pipeline's contract with the sweep
+infrastructure: captures are pure functions of the point arguments, so
+``--jobs N`` fan-out and result caching stay sound for traced runs.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.cli import main
+from repro.obs.export import validate_chrome_trace
+
+_ARGS = ["fig3", "--procs", "16", "--ops", "6", "--format", "chrome", "--no-cache"]
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Keep any cache writes inside the test's tmp directory."""
+    monkeypatch.setenv("KSR_CACHE_DIR", str(tmp_path / "cache"))
+
+
+def _export(tmp_path, name: str, extra: list[str]) -> bytes:
+    out = tmp_path / name
+    assert main([*_ARGS, *extra, "--output", str(out)]) == 0
+    return out.read_bytes()
+
+
+@pytest.mark.slow
+def test_fig3_chrome_trace_is_jobs_invariant_and_repeatable(tmp_path, capsys):
+    serial = _export(tmp_path, "serial.json", ["--jobs", "1"])
+    parallel = _export(tmp_path, "parallel.json", ["--jobs", "4"])
+    repeat = _export(tmp_path, "repeat.json", ["--jobs", "1"])
+    assert serial == parallel
+    assert serial == repeat
+    doc = json.loads(serial)
+    assert validate_chrome_trace(doc) == []
+    labels = [c["label"] for c in doc["otherData"]["captures"]]
+    assert labels[0] == "fig3 hardware P=16"
+    assert len(labels) == 7

@@ -39,3 +39,39 @@ class TestTrace:
         t = Trace()
         _fill(t)
         assert [r.kind for r in t] == ["read", "write", "poststore"]
+
+
+class TestRingBuffer:
+    def test_uncapped_by_default(self):
+        t = Trace()
+        for i in range(1000):
+            t.record(float(i), 0, "t0", "read", 0x100, 2.0)
+        assert len(t) == 1000
+        assert t.dropped == 0
+        assert t.capacity is None
+
+    def test_capped_trace_keeps_the_newest_records(self):
+        t = Trace(capacity=2)
+        _fill(t)
+        assert [r.kind for r in t.records] == ["write", "poststore"]
+        assert t.dropped == 1
+
+    def test_dropped_counts_every_eviction(self):
+        t = Trace(capacity=3)
+        for i in range(10):
+            t.record(float(i), 0, "t0", "read", 0x100, 2.0)
+        assert len(t) == 3
+        assert t.dropped == 7
+        assert [r.time for r in t.records] == [7.0, 8.0, 9.0]
+
+    def test_filters_see_only_retained_records(self):
+        t = Trace(capacity=2)
+        _fill(t)  # the "read" record was evicted
+        assert t.by_kind("read") == []
+        assert len(t.by_addr(0x100)) == 1
+
+    def test_exact_capacity_drops_nothing(self):
+        t = Trace(capacity=3)
+        _fill(t)
+        assert len(t) == 3
+        assert t.dropped == 0
