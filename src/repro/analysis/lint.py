@@ -1,6 +1,6 @@
 """AST lint for simulator-code hazards.
 
-The simulator's determinism and coherence guarantees rest on three
+The simulator's determinism and coherence guarantees rest on four
 coding rules that nothing in Python enforces:
 
 ``KSR100`` — no wall-clock or stdlib randomness in simulator code.
@@ -22,6 +22,15 @@ coding rules that nothing in Python enforces:
     hops; exact equality is a latent bug.  Comparisons of time-named
     attributes (``now``, ``completed_at``, ...) must use ordering or a
     tolerance.
+
+``KSR103`` — no ad-hoc RNG construction anywhere in the package.
+    Constructing ``random.Random``/``random.SystemRandom`` or numpy's
+    legacy ``RandomState`` creates an unnamed stream outside the
+    seeded sub-stream registry; every generator must come through
+    :mod:`repro.util.rng` (``SeedStream``/``derive_rng``) so runs stay
+    a pure function of the master seed.  (``np.random.default_rng``
+    with an explicit seed is fine — the rule targets the stateful
+    legacy constructors.)  ``util/rng.py`` itself is exempt.
 
 The pass is a heuristic AST walk — aliasing a cache into a local
 variable can evade KSR101 — but it catches the direct spellings, which
@@ -47,6 +56,10 @@ MUTATION_ALLOWED = frozenset(
 )
 
 FORBIDDEN_MODULES = frozenset({"time", "random", "datetime"})
+#: Modules exempt from KSR103 (the RNG plumbing itself).
+RNG_ALLOWED = frozenset({"util/rng.py"})
+#: Constructors that mint an unregistered RNG stream (KSR103).
+RNG_CONSTRUCTORS = frozenset({"Random", "SystemRandom", "RandomState"})
 MUTATOR_METHODS = frozenset({"set_state", "fill", "invalidate", "snarf", "drop"})
 TIME_ATTRS = frozenset(
     {
@@ -110,6 +123,9 @@ class _Visitor(ast.NodeVisitor):
         self.check_imports = package in SIM_PACKAGES
         self.check_mutation = relpath not in MUTATION_ALLOWED
         self.check_time_eq = package in TIME_EQ_PACKAGES
+        self.check_rng = relpath not in RNG_ALLOWED
+        #: Local aliases of RNG constructors (``from random import Random``).
+        self._rng_names: set[str] = set()
         self.violations: list[LintViolation] = []
 
     def _flag(self, node: ast.AST, code: str, message: str) -> None:
@@ -137,6 +153,13 @@ class _Visitor(ast.NodeVisitor):
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if node.level == 0:  # relative imports can't reach the stdlib
             self._check_import(node, node.module)
+        # KSR103 alias tracking: `from random import Random` (or
+        # `from numpy.random import RandomState`) makes the bare name a
+        # constructor call later in the module.
+        if node.module and node.module.split(".")[-1] == "random":
+            for alias in node.names:
+                if alias.name in RNG_CONSTRUCTORS:
+                    self._rng_names.add(alias.asname or alias.name)
         self.generic_visit(node)
 
     # KSR101 ------------------------------------------------------------
@@ -155,6 +178,24 @@ class _Visitor(ast.NodeVisitor):
                     f"SubpageState mutated outside the protocol: "
                     f"{'.'.join(chain)}() — only coherence/protocol.py, "
                     "coherence/ops.py and memory/local_cache.py may do this",
+                )
+        # KSR103 --------------------------------------------------------
+        if self.check_rng:
+            spelled = None
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                chain = _attr_chain(func)
+                if chain[-1] in RNG_CONSTRUCTORS and "random" in chain[:-1]:
+                    spelled = ".".join(chain)
+            elif isinstance(func, ast.Name) and func.id in self._rng_names:
+                spelled = func.id
+            if spelled is not None:
+                self._flag(
+                    node,
+                    "KSR103",
+                    f"direct RNG construction '{spelled}(...)' — derive "
+                    "generators from repro.util.rng (SeedStream/derive_rng) "
+                    "so every stream is named and seeded",
                 )
         self.generic_visit(node)
 

@@ -41,6 +41,7 @@ from repro.machine.config import MachineConfig
 from repro.memory.address import subpage_of, word_of
 from repro.memory.local_cache import SubpageState
 from repro.ring.hierarchy import RingHierarchy
+from repro.ring.slotted_ring import TransactionOutcome
 from repro.sim.engine import Engine, Event
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -108,6 +109,11 @@ class CoherenceProtocol:
         #: with ``on_invalidations(now, n_losers)``.  ``None`` — the
         #: default — costs one branch per invalidation round.
         self.probe: Optional[Any] = None
+        #: Set by :meth:`repro.faults.FaultInjector.attach` when the
+        #: plan can actually produce faults; gates the per-transaction
+        #: fault bookkeeping so clean machines pay one branch per
+        #: transaction and touch no fault counters.
+        self.fault_accounting = False
 
     # ------------------------------------------------------------------
     # Wiring
@@ -118,6 +124,20 @@ class CoherenceProtocol:
         if cell.cell_id != len(self.cells):
             raise ProtocolError("cells must be registered in id order")
         self.cells.append(cell)
+
+    def _charge_faults(self, perfmon: Any, timing: Any) -> None:
+        """Book a transaction's fault outcome on the requester's monitor.
+
+        Only called behind :attr:`fault_accounting`, so fault-free runs
+        never execute it — keeping their perfmon byte-identical to runs
+        predating the fault layer.
+        """
+        if timing.retries:
+            perfmon.ring_retries += timing.retries
+        if timing.outcome is TransactionOutcome.TIMED_OUT:
+            perfmon.ring_timeouts += 1
+        if timing.bypass_hops:
+            perfmon.ring_bypass_hops += timing.bypass_hops
 
     def _cell(self, cell_id: int) -> "Cell":
         return self.cells[cell_id]
@@ -199,6 +219,8 @@ class CoherenceProtocol:
         cell.perfmon.ring_wait_cycles += timing.wait_cycles + (start - now)
         if timing.crossed_rings:
             cell.perfmon.inter_ring_transactions += 1
+        if self.fault_accounting:
+            self._charge_faults(cell.perfmon, timing)
         self.combiner.begin(subpage_id, start, timing.completed_at)
         self._finish_shared_fill(cell_id, subpage_id, demote_owner=True, demand=True)
         self._snarf_placeholders(subpage_id, timing.completed_at)
@@ -284,6 +306,8 @@ class CoherenceProtocol:
         cell.perfmon.ring_wait_cycles += timing.wait_cycles + (start - now)
         if timing.crossed_rings:
             cell.perfmon.inter_ring_transactions += 1
+        if self.fault_accounting:
+            self._charge_faults(cell.perfmon, timing)
         self._invalidate_others(subpage_id, cell_id)
         self._fill(
             cell_id,
@@ -416,6 +440,8 @@ class CoherenceProtocol:
             timing = transact(at, cell_id, None, subpage_id)
             perfmon.ring_transactions += 1
             perfmon.ring_cycles += timing.completed_at - at
+            if self.fault_accounting:
+                self._charge_faults(perfmon, timing)
             next_delay = max(interval, timing.completed_at - at)
             waiter.retry_event = schedule(next_delay, hardware_retry)
 
@@ -475,6 +501,8 @@ class CoherenceProtocol:
         reader_cell = self._cell(reader)
         reader_cell.perfmon.ring_transactions += 1
         reader_cell.perfmon.ring_cycles += timing.total_cycles
+        if self.fault_accounting:
+            self._charge_faults(reader_cell.perfmon, timing)
         self._refetch[subpage_id] = _Refetch(completes_at=timing.completed_at)
         self.engine.schedule_at(
             timing.completed_at, self._complete_group_refetch, subpage_id, writer
@@ -612,6 +640,8 @@ class CoherenceProtocol:
         timing = self.hierarchy.transact(start, cell_id, responder, subpage_id)
         cell.perfmon.ring_transactions += 1
         cell.perfmon.ring_cycles += timing.total_cycles
+        if self.fault_accounting:
+            self._charge_faults(cell.perfmon, timing)
         self.combiner.begin(subpage_id, start, timing.completed_at)
         self.fills.issue(cell_id, subpage_id, timing.completed_at)
         self.engine.schedule_at(
@@ -644,6 +674,8 @@ class CoherenceProtocol:
             self._advance_gate(subpage_id, timing.completed_at)
             cell.perfmon.ring_transactions += 1
             cell.perfmon.ring_cycles += timing.total_cycles
+            if self.fault_accounting:
+                self._charge_faults(cell.perfmon, timing)
             self.engine.schedule_at(
                 timing.completed_at, self._complete_poststore, cell_id, subpage_id
             )

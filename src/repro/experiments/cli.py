@@ -162,6 +162,31 @@ def _proj_cg(args) -> ExperimentResult:
     return args.runner.run(run_cg_projection)
 
 
+def _f1(args) -> ExperimentResult:
+    from repro.experiments.degraded import run_degraded_locks
+
+    procs = [2, 8] if args.quick else [2, 4, 8, 16]
+    return run_degraded_locks(
+        proc_counts=procs, ops=10 if args.quick else 30, runner=args.runner
+    )
+
+
+def _f2(args) -> ExperimentResult:
+    from repro.experiments.degraded import run_degraded_barriers
+
+    procs = [4, 8] if args.quick else [4, 8, 16]
+    return run_degraded_barriers(
+        proc_counts=procs, reps=4 if args.quick else 6, runner=args.runner
+    )
+
+
+def _f3(args) -> ExperimentResult:
+    from repro.experiments.degraded import run_degraded_kernels
+
+    procs = [1, 4, 16] if args.quick else [1, 2, 4, 8, 16, 32]
+    return run_degraded_kernels(proc_counts=procs, runner=args.runner)
+
+
 EXPERIMENTS: dict[str, tuple[str, Callable]] = {
     "fig2": ("Figure 2: memory-hierarchy latencies", _fig2),
     "fig3": ("Figure 3: lock performance", _fig3),
@@ -180,6 +205,9 @@ EXPERIMENTS: dict[str, tuple[str, Callable]] = {
     "future": ("Section 4's proposed features, implemented", _future),
     "proj-barriers": ("Projection: barriers beyond 64 processors", _proj_bar),
     "proj-cg": ("Projection: CG to the 1088-processor maximum", _proj_cg),
+    "f1": ("Degraded mode: lock workload under fault injection", _f1),
+    "f2": ("Degraded mode: barriers under fault injection", _f2),
+    "f3": ("Degraded mode: EP/CG scaling under fault injection", _f3),
 }
 
 

@@ -1,0 +1,28 @@
+"""Deterministic fault injection and degraded-mode modeling.
+
+The subsystem has three layers:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, a frozen description
+  of a fault scenario (rates, budgets, dead hardware) with a stable
+  :attr:`~FaultPlan.cache_token` for result caching.
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, which wires a
+  plan into a machine's fault seams using its own named RNG streams so
+  workload draws are never perturbed.  A zero plan installs no hooks:
+  the run is bit-identical to one with no injector.
+* :mod:`repro.faults.campaign` / :mod:`repro.faults.cli` — the
+  ``ksr-faults`` resilience-campaign runner (fault rate x processor
+  sweeps over the paper's figure-3 lock workload).  Imported lazily by
+  the CLI entry point, never from here, to keep the core importable by
+  :mod:`repro.obs` without a cycle.
+"""
+
+from repro.faults.injector import FAULT_TOTAL_KEYS, FaultCounters, FaultInjector
+from repro.faults.plan import INJECTOR_VERSION, FaultPlan
+
+__all__ = [
+    "FAULT_TOTAL_KEYS",
+    "FaultCounters",
+    "FaultInjector",
+    "FaultPlan",
+    "INJECTOR_VERSION",
+]

@@ -1,0 +1,351 @@
+"""Deterministic fault injection for a :class:`~repro.machine.ksr.KsrMachine`.
+
+The injector turns a :class:`~repro.faults.plan.FaultPlan` into hooks on
+the seams the machine exposes (`SlottedRing.fault_hook`,
+``SlottedRing.fault_jitter``, ``Cell.fault_delay``,
+``RingHierarchy.fault_injector``).  Three invariants govern the design:
+
+* **Own RNG streams.**  Every fault draw comes from sub-streams under
+  ``faults/<seed_salt>/…`` of the machine's :class:`SeedStream`, so the
+  workload's randomness (cache replacement, jitter, timers) is never
+  perturbed: a faulty run and a clean run of the same seed see the same
+  workload draws.
+* **Zero plan == no injector.**  A plan whose :attr:`FaultPlan.is_zero`
+  is true installs *no* hooks at all; the machine runs the exact code
+  path (and event/RNG history) it would without an injector.  Pinned by
+  ``tests/faults/test_determinism.py``.
+* **Faults cost real bandwidth.**  A corruption retry claims a real
+  ring slot; a stalled responder makes the requester burn probe packets
+  on its leaf ring; a dead cell adds bypass latency to every packet on
+  its ring.  Degradation therefore *compounds* under load instead of
+  being a flat latency tax.
+
+Fault models (see DESIGN.md §10 for the hardware rationale):
+
+``corruption_rate``
+    Each slot delivery is corrupted with probability *p* (CRC-detected
+    at the receiver).  The sender retries with linear backoff, claiming
+    a fresh slot each time; after ``max_retries`` failures the
+    transaction resolves ``TIMED_OUT`` (delivered by the recovery
+    layer, at the last attempt's completion time).
+``stall_rate``
+    Cells enter transient stall windows (exponential gaps, fixed
+    width).  A stalled cell makes no forward progress — its generator
+    resumptions are deferred to the window end — and requests *to* a
+    stalled cell are gated until it wakes, with the requester
+    re-issuing probe packets every ``request_timeout_cycles``.
+``slot_jitter_cycles``
+    Degraded slot arbitration: every grant suffers extra uniform
+    jitter, modeling a marginal ring interface.
+``dead_cells``
+    Permanent cell death.  The ring bypasses the dead interface at
+    ``bypass_hop_cycles`` per dead cell per traversed ring; threads
+    cannot be placed on dead cells.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, fields
+from typing import Any, Optional
+
+from repro.errors import ConfigError, SimulationError
+from repro.faults.plan import FaultPlan
+from repro.ring.hierarchy import PathTiming
+from repro.ring.slotted_ring import SlottedRing, TransactionOutcome
+
+__all__ = ["FAULT_TOTAL_KEYS", "FaultCounters", "FaultInjector"]
+
+
+@dataclass
+class FaultCounters:
+    """Machine-wide fault tallies for one attached injector.
+
+    Values are coerced to ``float`` by :meth:`snapshot` so a zero-fault
+    snapshot is byte-identical (under pickle) to the all-zero dict an
+    observer builds for a machine with no injector at all.
+    """
+
+    corrupted_packets: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    bypass_hops: int = 0
+    stall_cycles: float = 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        """Plain-dict copy, every value a float (see class docstring)."""
+        return {f.name: float(getattr(self, f.name)) for f in fields(self)}
+
+
+#: Key set of :meth:`FaultCounters.snapshot`, exported so
+#: :mod:`repro.obs.probes` can build the matching all-zero dict for
+#: machines without an injector.
+FAULT_TOTAL_KEYS = tuple(f.name for f in fields(FaultCounters))
+
+
+class FaultInjector:
+    """Wires a :class:`FaultPlan` into one machine's fault seams.
+
+    Usage::
+
+        injector = FaultInjector(plan)
+        injector.attach(machine)   # before Observer.attach
+        ... run workload ...
+        injector.counters.snapshot()
+
+    One injector serves one machine; :meth:`attach` refuses double
+    attachment in either direction.  :attr:`probe` (duck-typed
+    :class:`repro.obs.series.MachineSeries`) is wired by the observer
+    and receives ``on_fault(time, channel, n)`` per injected fault.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.counters = FaultCounters()
+        #: Observability sink with ``on_fault(time, channel, n)``;
+        #: wired by :meth:`repro.obs.probes.Observer.attach`.
+        self.probe: Optional[Any] = None
+        self._machine: Optional[Any] = None
+        # Stall bookkeeping: per-cell lazily extended window lists.
+        self._stall_rngs: dict[int, Any] = {}
+        self._stall_starts: dict[int, list[float]] = {}
+        self._stall_ends: dict[int, list[float]] = {}
+        # Per-ring dead-cell counts (bypass hops), filled on attach.
+        self._dead_per_ring: dict[int, int] = {}
+        # Scratch carried from before_transact to after_transact of the
+        # same (synchronous) hierarchy.transact call.
+        self._pending_retries = 0
+        self._pending_timeout = False
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attach(self, machine: Any) -> "FaultInjector":
+        """Install the plan's hooks on ``machine``; returns ``self``.
+
+        Attach *before* :meth:`repro.obs.Observer.attach` so the
+        observer finds the injector and wires its fault probe.
+        """
+        if self._machine is not None:
+            raise SimulationError("fault injector is already attached to a machine")
+        if getattr(machine, "fault_injector", None) is not None:
+            raise SimulationError("machine already has a fault injector attached")
+        plan = self.plan
+        n_cells = machine.config.n_cells
+        bad = [c for c in plan.dead_cells if c >= n_cells]
+        if bad:
+            raise ConfigError(
+                f"dead cells {bad} out of range on a {n_cells}-cell machine"
+            )
+        if len(plan.dead_cells) >= n_cells:
+            raise ConfigError("a plan may not kill every cell of the machine")
+        self._machine = machine
+        machine.fault_injector = self
+        seeds = machine.seeds.child(f"faults/{plan.seed_salt}")
+        if plan.corruption_rate > 0.0:
+            for ring in machine.hierarchy.all_rings:
+                ring.fault_hook = self._make_corruption_hook(
+                    seeds.rng(f"corrupt/{ring.label}")
+                )
+        if plan.slot_jitter_cycles > 0.0:
+            for ring in machine.hierarchy.all_rings:
+                ring.fault_jitter = self._make_jitter(
+                    seeds.rng(f"jitter/{ring.label}")
+                )
+        if plan.stall_rate > 0.0:
+            for cell in machine.cells:
+                self._stall_rngs[cell.cell_id] = seeds.rng(f"stall/{cell.cell_id}")
+                self._stall_starts[cell.cell_id] = []
+                self._stall_ends[cell.cell_id] = []
+                cell.fault_delay = self._make_cell_delay(cell)
+        if plan.stall_rate > 0.0 or plan.dead_cells:
+            ring_of = machine.hierarchy.ring_of
+            for dead in plan.dead_cells:
+                ring = ring_of(dead)
+                self._dead_per_ring[ring] = self._dead_per_ring.get(ring, 0) + 1
+            machine.hierarchy.fault_injector = self
+        if not plan.is_zero:
+            machine.protocol.fault_accounting = True
+        return self
+
+    def detach(self) -> None:
+        """Remove every hook; the machine runs clean afterwards."""
+        machine = self._machine
+        if machine is None:
+            return
+        for ring in machine.hierarchy.all_rings:
+            ring.fault_hook = None
+            ring.fault_jitter = None
+        for cell in machine.cells:
+            cell.fault_delay = None
+        machine.hierarchy.fault_injector = None
+        machine.protocol.fault_accounting = False
+        machine.fault_injector = None
+        self._machine = None
+        self._stall_rngs.clear()
+        self._stall_starts.clear()
+        self._stall_ends.clear()
+        self._dead_per_ring.clear()
+
+    # ------------------------------------------------------------------
+    # Ring packet corruption (CRC detect -> bounded retry with backoff)
+    # ------------------------------------------------------------------
+
+    def _make_corruption_hook(self, rng: Any):
+        plan = self.plan
+        p = plan.corruption_rate
+        max_retries = plan.max_retries
+        backoff = plan.retry_backoff_cycles
+        counters = self.counters
+
+        def hook(
+            ring: SlottedRing, subring: int, completed: float, attempt: int
+        ) -> Any:
+            # One draw per delivery attempt, corrupted or not, so the
+            # stream is a pure function of the attempt sequence.
+            if rng.random() >= p:
+                return None
+            counters.corrupted_packets += 1
+            probe = self.probe
+            if probe is not None:
+                probe.on_fault(completed, "fault_corrupted")
+            if attempt > max_retries:
+                counters.timeouts += 1
+                if probe is not None:
+                    probe.on_fault(completed, "fault_timeouts")
+                return TransactionOutcome.TIMED_OUT
+            counters.retries += 1
+            if probe is not None:
+                probe.on_fault(completed, "fault_retries")
+            # Linear backoff: the k-th retry re-claims a slot k backoff
+            # intervals after the corrupted delivery.
+            return completed + backoff * attempt
+
+        return hook
+
+    # ------------------------------------------------------------------
+    # Degraded slot arbitration
+    # ------------------------------------------------------------------
+
+    def _make_jitter(self, rng: Any):
+        width = 2.0 * self.plan.slot_jitter_cycles
+
+        def jitter() -> float:
+            return float(rng.random() * width)
+
+        return jitter
+
+    # ------------------------------------------------------------------
+    # Transient cell stalls
+    # ------------------------------------------------------------------
+
+    def _stall_end(self, cell_id: int, at: float) -> Optional[float]:
+        """End of the stall window covering ``at``, or ``None``.
+
+        Windows are generated lazily in time order from the cell's own
+        stream, so the draw sequence is independent of query order.
+        """
+        starts = self._stall_starts[cell_id]
+        ends = self._stall_ends[cell_id]
+        rng = self._stall_rngs[cell_id]
+        mean_gap = 1.0 / self.plan.stall_rate
+        width = self.plan.stall_cycles
+        while not starts or starts[-1] <= at:
+            prev_end = ends[-1] if ends else 0.0
+            start = prev_end + float(rng.exponential(mean_gap))
+            starts.append(start)
+            ends.append(start + width)
+        i = bisect_right(starts, at) - 1
+        if i >= 0 and at < ends[i]:
+            return ends[i]
+        return None
+
+    def _make_cell_delay(self, cell: Any):
+        counters = self.counters
+        cell_id = cell.cell_id
+        perfmon = cell.perfmon
+
+        def delay(at: float) -> float:
+            end = self._stall_end(cell_id, at)
+            if end is None:
+                return at
+            counters.stall_cycles += end - at
+            perfmon.fault_stall_cycles += end - at
+            return end
+
+        return delay
+
+    # ------------------------------------------------------------------
+    # Hierarchy bracket: responder stalls in, dead-cell bypass out
+    # ------------------------------------------------------------------
+
+    def before_transact(
+        self, now: float, src_cell: int, dst_cell: Optional[int], subpage_id: int
+    ) -> float:
+        """Gate a request on the responder's stall windows.
+
+        While the responder sleeps the requester's timeout fires every
+        ``request_timeout_cycles``; each expiry (up to ``max_retries``)
+        re-issues a probe packet that claims a real slot on the source
+        leaf ring.  Past the budget the path is marked ``TIMED_OUT``
+        (merged into the timing by :meth:`after_transact`); delivery
+        still lands when the responder wakes, so runs always terminate.
+        """
+        self._pending_retries = 0
+        self._pending_timeout = False
+        plan = self.plan
+        if plan.stall_rate == 0.0 or dst_cell is None:
+            return now
+        end = self._stall_end(dst_cell, now)
+        if end is None:
+            return now
+        machine = self._machine
+        waited = end - now
+        n_expiries = int(waited // plan.request_timeout_cycles)
+        n_probes = min(n_expiries, plan.max_retries)
+        if n_probes:
+            src_ring = machine.hierarchy.leaf_rings[
+                machine.hierarchy.ring_of(src_cell)
+            ]
+            counters = self.counters
+            probe = self.probe
+            for i in range(n_probes):
+                at = now + (i + 1) * plan.request_timeout_cycles
+                src_ring.transact(at, subpage_id, overhead_cycles=0.0)
+                counters.retries += 1
+                counters.timeouts += 1
+                if probe is not None:
+                    probe.on_fault(at, "fault_retries")
+                    probe.on_fault(at, "fault_timeouts")
+        self._pending_retries = n_probes
+        self._pending_timeout = n_expiries > plan.max_retries
+        return end
+
+    def after_transact(
+        self, timing: PathTiming, src_cell: int, dst_cell: Optional[int]
+    ) -> PathTiming:
+        """Charge dead-cell bypass hops and merge stall-gate results."""
+        dead = self._dead_per_ring
+        hops = 0
+        if dead:
+            machine = self._machine
+            src_ring = machine.hierarchy.ring_of(src_cell)
+            hops = dead.get(src_ring, 0)
+            if timing.crossed_rings and dst_cell is not None:
+                hops += dead.get(machine.hierarchy.ring_of(dst_cell), 0)
+        if hops:
+            timing.completed_at += hops * self.plan.bypass_hop_cycles
+            timing.bypass_hops = hops
+            self.counters.bypass_hops += hops
+            if self.probe is not None:
+                self.probe.on_fault(
+                    timing.completed_at, "fault_bypass_hops", float(hops)
+                )
+        if self._pending_retries:
+            timing.retries += self._pending_retries
+            self._pending_retries = 0
+        if self._pending_timeout:
+            timing.outcome = TransactionOutcome.TIMED_OUT
+            self._pending_timeout = False
+        return timing

@@ -1,0 +1,130 @@
+"""Declarative fault scenarios (:class:`FaultPlan`).
+
+A plan is a frozen value object describing *what can go wrong* on the
+simulated machine; the :class:`repro.faults.injector.FaultInjector`
+turns it into hooks on the ring/cell seams.  Keeping the plan pure data
+gives three properties the experiments lean on:
+
+* **Reproducibility** — a ``(master_seed, plan)`` pair fully determines
+  every injected fault; ``seed_salt`` lets one machine seed explore
+  independent fault draws.
+* **Cache keying** — :attr:`FaultPlan.cache_token` hashes the plan
+  together with :data:`INJECTOR_VERSION`, so the sweep-runner result
+  cache (:mod:`repro.experiments.sweep`) distinguishes plans and
+  invalidates stale entries when the injector's semantics change.
+* **Zero-fault identity** — :attr:`FaultPlan.is_zero` is checked by the
+  injector: a zero plan installs *no* hooks, so attaching it is
+  bit-identical to not attaching an injector at all (pinned by
+  ``tests/faults/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields
+
+from repro.errors import ConfigError
+
+__all__ = ["FaultPlan", "INJECTOR_VERSION"]
+
+#: Bumped whenever the injector's *semantics* change (not just rates),
+#: so cached experiment results from older injectors never alias new
+#: ones.  Part of :attr:`FaultPlan.cache_token`.
+INJECTOR_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One fault scenario: rates, budgets and dead hardware.
+
+    All rates are per-event probabilities; all durations are CPU cycles
+    of the simulated machine.  The default-constructed plan is the
+    zero plan: nothing ever fails.
+    """
+
+    #: Probability that a ring packet is delivered corrupted (detected
+    #: by CRC at the receiver, triggering a retry of that leg).
+    corruption_rate: float = 0.0
+    #: Retry budget per ring leg / stalled-responder request; once
+    #: exhausted the transaction resolves ``TIMED_OUT``.
+    max_retries: int = 8
+    #: Linear backoff between corruption retries: retry ``k`` re-claims
+    #: a slot ``k * retry_backoff_cycles`` after the corrupted delivery.
+    retry_backoff_cycles: float = 64.0
+    #: Rate (per cycle, exponential gaps) at which a cell enters a
+    #: transient stall window and goes silent.
+    stall_rate: float = 0.0
+    #: Length of one transient stall window.
+    stall_cycles: float = 5000.0
+    #: Requester-side timeout: while a responder is stalled, the
+    #: requester re-issues a probe packet every this-many cycles.
+    request_timeout_cycles: float = 2000.0
+    #: Degraded slot arbitration: extra uniform(0, 2x) jitter added to
+    #: every slot grant (mean ``slot_jitter_cycles``).
+    slot_jitter_cycles: float = 0.0
+    #: Permanently dead cells; packets route past them with
+    #: ``bypass_hop_cycles`` per dead cell on the traversed ring, and
+    #: threads may not be placed on them.
+    dead_cells: tuple[int, ...] = ()
+    #: Added latency per dead cell bypassed on a traversed ring.
+    bypass_hop_cycles: float = 8.0
+    #: Decouples the fault RNG streams from the machine seed: same
+    #: machine, same workload, independent fault draws per salt.
+    seed_salt: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("corruption_rate", "stall_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise ConfigError(f"{name} must be in [0, 1), got {rate}")
+        if self.max_retries < 1:
+            raise ConfigError(f"max_retries must be >= 1, got {self.max_retries}")
+        for name in (
+            "retry_backoff_cycles",
+            "stall_cycles",
+            "request_timeout_cycles",
+            "bypass_hop_cycles",
+        ):
+            cycles = getattr(self, name)
+            if cycles <= 0:
+                raise ConfigError(f"{name} must be positive, got {cycles}")
+        if self.slot_jitter_cycles < 0:
+            raise ConfigError(
+                f"slot_jitter_cycles must be >= 0, got {self.slot_jitter_cycles}"
+            )
+        if any(c < 0 for c in self.dead_cells):
+            raise ConfigError(f"dead_cells must be non-negative: {self.dead_cells}")
+        object.__setattr__(
+            self, "dead_cells", tuple(sorted(dict.fromkeys(self.dead_cells)))
+        )
+
+    @property
+    def is_zero(self) -> bool:
+        """True when this plan can never inject a fault.
+
+        ``max_retries`` and the cycle budgets are irrelevant when no
+        fault source is enabled, so they do not disqualify a plan.
+        """
+        return (
+            self.corruption_rate == 0.0
+            and self.stall_rate == 0.0
+            and self.slot_jitter_cycles == 0.0
+            and not self.dead_cells
+        )
+
+    @property
+    def cache_token(self) -> str:
+        """Stable identity for result caching (see module docstring)."""
+        digest = hashlib.sha256(repr(self).encode("utf-8")).hexdigest()[:16]
+        return f"faultplan-v{INJECTOR_VERSION}-{digest}"
+
+    def describe(self) -> str:
+        """Human-oriented one-liner listing only the non-default knobs."""
+        if self.is_zero:
+            return "FaultPlan(zero)"
+        parts = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value != f.default:
+                parts.append(f"{f.name}={value}")
+        return f"FaultPlan({', '.join(parts)})"

@@ -24,7 +24,7 @@ cold first touch         local creation: 18 + allocation penalties
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
 from repro.machine.config import MachineConfig
@@ -80,6 +80,10 @@ class Cell:
         #: Set by the protocol when a demand fill allocated a page; the
         #: in-progress access picks it up as a latency penalty.
         self.pending_page_alloc = False
+        #: Fault seam (:mod:`repro.faults`): maps a resume time to a
+        #: possibly later one while the cell is in a transient stall
+        #: window.  ``None`` (the default) costs one branch per resume.
+        self.fault_delay: Optional[Callable[[float], float]] = None
         self.current_process: Optional[Process] = None
 
     # ------------------------------------------------------------------
@@ -118,7 +122,14 @@ class Cell:
         self._dispatch(process, op)
 
     def _resume(self, process: Process, at: float, value: Any = None) -> None:
-        """Schedule the generator to continue at time ``at``."""
+        """Schedule the generator to continue at time ``at``.
+
+        The single continuation path for op completion, so a fault
+        injector deferring ``at`` here freezes the cell's forward
+        progress for the stall window without touching the event queue.
+        """
+        if self.fault_delay is not None:
+            at = self.fault_delay(at)
         if at < self.engine.now:
             raise SimulationError(
                 f"resume of {process.name} scheduled in the past "

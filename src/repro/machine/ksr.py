@@ -65,6 +65,10 @@ class KsrMachine:
         for cell in self.cells:
             self.protocol.register_cell(cell)
         self.processes: list[Process] = []
+        #: The attached :class:`repro.faults.FaultInjector`, or ``None``.
+        #: Set by :meth:`FaultInjector.attach`; observers read it to
+        #: wire the fault probe and snapshot fault counters.
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     # Workload surface
@@ -80,6 +84,12 @@ class KsrMachine:
         if not 0 <= cell_id < self.config.n_cells:
             raise SimulationError(
                 f"cell {cell_id} out of range on a {self.config.n_cells}-cell machine"
+            )
+        injector = self.fault_injector
+        if injector is not None and cell_id in injector.plan.dead_cells:
+            raise SimulationError(
+                f"cell {cell_id} is dead under the attached fault plan; "
+                "place threads on live cells only"
             )
         process = Process(name=name, body=body, cell_id=cell_id)
         self.processes.append(process)

@@ -50,6 +50,11 @@ class PerfMonitor:
     stall_cycles: float = 0.0
     timer_interrupts: int = 0
     timer_cycles: float = 0.0
+    # Fault-layer counters (repro.faults): zero on fault-free machines.
+    ring_retries: int = 0
+    ring_timeouts: int = 0
+    ring_bypass_hops: int = 0
+    fault_stall_cycles: float = 0.0
 
     def reset(self) -> None:
         """Zero every counter."""

@@ -45,6 +45,10 @@ COUNTER_CHANNELS = (
     "read_subcache_miss_rate",
     "read_remote_rate",
     "invalidations",
+    "fault_corrupted",
+    "fault_retries",
+    "fault_timeouts",
+    "fault_bypass_hops",
 )
 
 

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import SimulationError
+from repro.faults.injector import FAULT_TOTAL_KEYS
 from repro.obs.series import MachineSeries, SeriesView
 from repro.sim.tracing import Trace, TraceRecord
 
@@ -78,6 +79,10 @@ class ObsCapture:
     directory: dict[str, int]
     #: Transit cycles carried per ring label.
     ring_transit: dict[str, float]
+    #: Fault-injection totals (:data:`repro.faults.FAULT_TOTAL_KEYS`);
+    #: all zeros when no injector was attached, so a zero-fault capture
+    #: is byte-identical to an uninjected one.
+    faults: dict[str, float] = field(default_factory=dict)
     #: Free-form experiment metadata (arguments, seeds, ...).
     meta: dict[str, str] = field(default_factory=dict)
 
@@ -163,6 +168,11 @@ class Observer:
         machine.protocol.probe = self.series
         for ring in machine.hierarchy.all_rings:
             ring.probe = self.series.on_ring
+        injector = getattr(machine, "fault_injector", None)
+        if injector is not None:
+            if injector.probe is not None:
+                raise SimulationError("fault injector already has a probe wired")
+            injector.probe = self.series
         self.trace = _SeriesTrace(self.spec.max_records, self.series)
         self._prev_trace = machine.set_trace(self.trace)
         return self
@@ -176,6 +186,9 @@ class Observer:
         machine.protocol.probe = None
         for ring in machine.hierarchy.all_rings:
             ring.probe = None
+        injector = getattr(machine, "fault_injector", None)
+        if injector is not None and injector.probe is self.series:
+            injector.probe = None
         machine.set_trace(self._prev_trace)
         self._machine = None
         self._prev_trace = None
@@ -190,6 +203,12 @@ class Observer:
         if machine is None or self.series is None or self.trace is None:
             raise SimulationError("capture() requires an attached observer")
         totals = machine.total_perf()
+        injector = getattr(machine, "fault_injector", None)
+        faults = (
+            injector.counters.snapshot()
+            if injector is not None
+            else dict.fromkeys(FAULT_TOTAL_KEYS, 0.0)
+        )
         return ObsCapture(
             label=label,
             n_cells=machine.config.n_cells,
@@ -203,5 +222,6 @@ class Observer:
             derived=totals.derived(),
             directory=machine.protocol.directory.summary(),
             ring_transit=self.series.per_ring_transit(),
+            faults=faults,
             meta={k: str(v) for k, v in sorted(meta.items())},
         )

@@ -33,6 +33,10 @@ RAW_CHANNELS = (
     "ring_wait_cycles",
     "ring_transit_cycles",
     "invalidations",
+    "fault_corrupted",
+    "fault_retries",
+    "fault_timeouts",
+    "fault_bypass_hops",
 )
 
 #: Derived channel names computed by :meth:`MachineSeries.view`.
@@ -42,6 +46,7 @@ DERIVED_CHANNELS = (
     "mean_slot_wait_cycles",
     "read_subcache_miss_rate",
     "read_remote_rate",
+    "fault_retry_fraction",
 )
 
 
@@ -141,6 +146,10 @@ class MachineSeries:
         """Protocol probe: an invalidation round hit ``n_losers`` cells."""
         self._bucket(now)["invalidations"] += n_losers
 
+    def on_fault(self, time: float, channel: str, n: float = 1.0) -> None:
+        """Fault-injector probe: ``n`` events on one ``fault_*`` channel."""
+        self._bucket(time)[channel] += n
+
     # -- read-out ------------------------------------------------------
 
     def per_ring_transit(self) -> dict[str, float]:
@@ -180,5 +189,8 @@ class MachineSeries:
                 (start, 1.0 - b["read_subcache_hits"] / reads if reads else 0.0)
             )
             out["read_remote_rate"].append((start, b["remote_ops"] / ops if ops else 0.0))
+            out["fault_retry_fraction"].append(
+                (start, b["fault_retries"] / tx if tx else 0.0)
+            )
         frozen = {name: tuple(points) for name, points in out.items()}
         return SeriesView(bucket_cycles=width, series=frozen)

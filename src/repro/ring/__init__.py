@@ -9,15 +9,18 @@ the phase-level (kernel) tier; its saturation behaviour is validated
 against the slotted model in the test suite.
 """
 
-from repro.ring.slotted_ring import SlottedRing, RingGrant
-from repro.ring.ard import ArdRouter
+from repro.ring.slotted_ring import SlottedRing, RingGrant, TransactionOutcome
+from repro.ring.ard import ArdRouter, ArdTransaction, ArdTxnState
 from repro.ring.hierarchy import RingHierarchy, PathTiming
 from repro.ring.contention import RingLoadModel, effective_remote_latency
 
 __all__ = [
     "SlottedRing",
     "RingGrant",
+    "TransactionOutcome",
     "ArdRouter",
+    "ArdTransaction",
+    "ArdTxnState",
     "RingHierarchy",
     "PathTiming",
     "RingLoadModel",

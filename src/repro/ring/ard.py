@@ -6,16 +6,61 @@ finds no responder at the current level it is propagated up to the
 level-1 ring (and from there down into the leaf ring that holds a
 copy).  We model the ARD as a fixed per-crossing latency plus the
 queueing of the rings it forwards onto.
+
+The real ARD also held per-request state: an outstanding inter-ring
+request stayed tabled until its response descended, which is what let
+the hardware detect lost responses and re-issue requests.  The model
+mirrors that with an explicit transaction table — every cross-ring
+path opens an :class:`ArdTransaction` at the source ARD and resolves
+it exactly once (completed or timed out).  Resolving a transaction
+twice is a simulator bug and raises
+:class:`~repro.errors.SimulationError` naming the transaction; the
+per-transaction ``retries`` counter is where the fault layer's
+timeout/retry machinery (:mod:`repro.faults`) records re-issues.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
 
-__all__ = ["ArdRouter"]
+from repro.errors import SimulationError
+
+__all__ = ["ArdRouter", "ArdTransaction", "ArdTxnState"]
 
 
-@dataclass(frozen=True)
+class ArdTxnState(Enum):
+    """Lifecycle of one tabled inter-ring request."""
+
+    PENDING = "pending"
+    COMPLETED = "completed"
+    TIMED_OUT = "timed_out"
+
+
+@dataclass(slots=True, eq=False)
+class ArdTransaction:
+    """One outstanding request/response pair tabled at an ARD."""
+
+    txn_id: int
+    subpage_id: int
+    src_ring: int
+    dst_ring: int
+    opened_at: float
+    state: ArdTxnState = ArdTxnState.PENDING
+    resolved_at: Optional[float] = None
+    #: Re-issues recorded against this request (fault timeouts/retries).
+    retries: int = 0
+
+    def describe(self) -> str:
+        """Identity string used in error messages and diagnostics."""
+        return (
+            f"ARD txn #{self.txn_id} (subpage {self.subpage_id}, "
+            f"ring {self.src_ring}->{self.dst_ring}, opened at "
+            f"{self.opened_at:.1f})"
+        )
+
+
 class ArdRouter:
     """Router between a leaf ring and the level-1 ring.
 
@@ -26,9 +71,71 @@ class ArdRouter:
     per inter-ring transaction.
     """
 
-    ring_index: int
-    crossing_cycles: float = 25.0
-
-    def __post_init__(self) -> None:
-        if self.crossing_cycles < 0:
+    def __init__(self, ring_index: int, crossing_cycles: float = 25.0):
+        if crossing_cycles < 0:
             raise ValueError("ARD crossing cost cannot be negative")
+        self.ring_index = ring_index
+        self.crossing_cycles = crossing_cycles
+        self._next_txn_id = 0
+        self._pending: dict[int, ArdTransaction] = {}
+        self.n_opened = 0
+        self.n_completed = 0
+        self.n_timed_out = 0
+
+    # ------------------------------------------------------------------
+    # Transaction table
+    # ------------------------------------------------------------------
+
+    def open(
+        self, subpage_id: int, src_ring: int, dst_ring: int, at: float
+    ) -> ArdTransaction:
+        """Table a new outstanding inter-ring request."""
+        txn = ArdTransaction(
+            txn_id=self._next_txn_id,
+            subpage_id=subpage_id,
+            src_ring=src_ring,
+            dst_ring=dst_ring,
+            opened_at=at,
+        )
+        self._next_txn_id += 1
+        self._pending[txn.txn_id] = txn
+        self.n_opened += 1
+        return txn
+
+    def complete(self, txn: ArdTransaction, at: float) -> None:
+        """Resolve ``txn``: its response descended at time ``at``."""
+        self._resolve(txn, at, ArdTxnState.COMPLETED)
+        self.n_completed += 1
+
+    def timeout(self, txn: ArdTransaction, at: float) -> None:
+        """Resolve ``txn`` as lost: its retry budget expired at ``at``."""
+        self._resolve(txn, at, ArdTxnState.TIMED_OUT)
+        self.n_timed_out += 1
+
+    def _resolve(self, txn: ArdTransaction, at: float, state: ArdTxnState) -> None:
+        if txn.state is not ArdTxnState.PENDING:
+            raise SimulationError(
+                f"{txn.describe()} resolved twice: already "
+                f"{txn.state.value} at {txn.resolved_at}"
+            )
+        if txn.txn_id not in self._pending:
+            raise SimulationError(f"{txn.describe()} is not tabled at this ARD")
+        del self._pending[txn.txn_id]
+        txn.state = state
+        txn.resolved_at = at
+
+    @property
+    def outstanding(self) -> int:
+        """Requests currently tabled (opened but not yet resolved)."""
+        return len(self._pending)
+
+    def pending_transactions(self) -> list[ArdTransaction]:
+        """The tabled requests, oldest first (diagnostics)."""
+        return [self._pending[k] for k in sorted(self._pending)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ArdRouter(ring_index={self.ring_index}, "
+            f"crossing_cycles={self.crossing_cycles}, "
+            f"outstanding={self.outstanding})"
+        )

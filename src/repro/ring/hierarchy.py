@@ -17,7 +17,7 @@ from dataclasses import dataclass, replace
 from repro.errors import ConfigError
 from repro.machine.config import MachineConfig
 from repro.ring.ard import ArdRouter
-from repro.ring.slotted_ring import RingGrant, SlottedRing
+from repro.ring.slotted_ring import RingGrant, SlottedRing, TransactionOutcome
 from repro.util.rng import SeedStream
 
 __all__ = ["PathTiming", "RingHierarchy"]
@@ -32,6 +32,13 @@ class PathTiming:
     wait_cycles: float
     crossed_rings: bool
     legs: tuple[RingGrant, ...]
+    #: Extra slots claimed by fault retries, summed over the legs (plus
+    #: any responder-timeout re-issues added by the fault injector).
+    retries: int = 0
+    #: Worst delivery outcome over the legs (``OK`` on clean machines).
+    outcome: TransactionOutcome = TransactionOutcome.OK
+    #: Dead cells the packet was routed past (ring bypass latency).
+    bypass_hops: int = 0
 
     @property
     def total_cycles(self) -> float:
@@ -65,6 +72,11 @@ class RingHierarchy:
         # Hot-path lookup table: cell ids are validated once here, so
         # per-transaction routing is a plain list index.
         self._ring_index = [config.ring_of(c) for c in range(config.n_cells)]
+        #: Fault seam: a :class:`repro.faults.FaultInjector` (or ``None``).
+        #: When set, ``before_transact``/``after_transact`` bracket every
+        #: path — responder-stall gating on the way in, dead-cell bypass
+        #: latency on the way out.  One branch per transaction when unset.
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
 
@@ -86,26 +98,53 @@ class RingHierarchy:
         ring (e.g. an invalidation round with all sharers local, or a
         miss that allocates fresh data).
         """
+        injector = self.fault_injector
+        if injector is not None:
+            now = injector.before_transact(now, src_cell, dst_cell, subpage_id)
         ring_index = self._ring_index
         src_ring = ring_index[src_cell]
         if dst_cell is None or ring_index[dst_cell] == src_ring:
             grant = self.leaf_rings[src_ring].transact(now, subpage_id)
-            return PathTiming(
-                now, grant.completed_at, grant.injected_at - now, False, (grant,)
+            timing = PathTiming(
+                now,
+                grant.completed_at,
+                grant.injected_at - now,
+                False,
+                (grant,),
+                grant.attempts - 1,
+                grant.outcome,
             )
-        dst_ring = ring_index[dst_cell]
-        leg1 = self.leaf_rings[src_ring].transact(now, subpage_id, overhead_cycles=0.0)
-        leg2 = self.level1.transact(
-            leg1.completed_at + self.ards[src_ring].crossing_cycles,
-            subpage_id,
-            overhead_cycles=0.0,
-        )
-        leg3 = self.leaf_rings[dst_ring].transact(
-            leg2.completed_at + self.ards[dst_ring].crossing_cycles,
-            subpage_id,
-        )
-        wait = leg1.wait_cycles + leg2.wait_cycles + leg3.wait_cycles
-        return PathTiming(now, leg3.completed_at, wait, True, (leg1, leg2, leg3))
+        else:
+            dst_ring = ring_index[dst_cell]
+            ard = self.ards[src_ring]
+            txn = ard.open(subpage_id, src_ring, dst_ring, now)
+            leg1 = self.leaf_rings[src_ring].transact(
+                now, subpage_id, overhead_cycles=0.0
+            )
+            leg2 = self.level1.transact(
+                leg1.completed_at + ard.crossing_cycles,
+                subpage_id,
+                overhead_cycles=0.0,
+            )
+            leg3 = self.leaf_rings[dst_ring].transact(
+                leg2.completed_at + self.ards[dst_ring].crossing_cycles,
+                subpage_id,
+            )
+            wait = leg1.wait_cycles + leg2.wait_cycles + leg3.wait_cycles
+            retries = leg1.attempts + leg2.attempts + leg3.attempts - 3
+            outcome = max(leg1.outcome, leg2.outcome, leg3.outcome)
+            txn.retries = retries
+            if outcome is TransactionOutcome.TIMED_OUT:
+                ard.timeout(txn, leg3.completed_at)
+            else:
+                ard.complete(txn, leg3.completed_at)
+            timing = PathTiming(
+                now, leg3.completed_at, wait, True, (leg1, leg2, leg3),
+                retries, outcome,
+            )
+        if injector is not None:
+            timing = injector.after_transact(timing, src_cell, dst_cell)
+        return timing
 
     # ------------------------------------------------------------------
 

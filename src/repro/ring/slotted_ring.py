@@ -25,24 +25,57 @@ O(log slots) instead of a linear scan.  The heap's lexicographic order
 (earliest free time, then lowest slot index) is exactly the order the
 old ``min()`` scan produced, so grant sequences are bit-for-bit
 identical (verified by ``tests/ring/test_slotted_ring.py``).
+
+Faults are opt-in through two seams (:mod:`repro.faults`): a
+``fault_hook`` that may declare a delivered packet corrupted — the
+transaction then re-claims a real slot per retry (burning bandwidth)
+until the hook accepts it or declares a timeout — and a
+``fault_jitter`` source adding degraded-slot alignment delay.  Both are
+``None`` by default and cost one branch; with no hook installed a
+transaction always succeeds on its first attempt with
+:attr:`TransactionOutcome.OK`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from enum import IntEnum
 from heapq import heapreplace
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 import numpy as np
 
 from repro.errors import ConfigError
 from repro.machine.config import RingConfig
 
-__all__ = ["RingGrant", "SlottedRing"]
+__all__ = ["RingGrant", "SlottedRing", "TransactionOutcome"]
 
 #: Slot-alignment jitter values drawn from the ring's private RNG
 #: stream per batch (one numpy call amortised over many transactions).
 _JITTER_BATCH = 256
+
+
+class TransactionOutcome(IntEnum):
+    """How a (possibly multi-leg) ring transaction was delivered.
+
+    Ordered by severity so aggregating a path is ``max()`` over legs.
+    Before the fault subsystem, delivery was implicitly always-success;
+    ``OK`` is that path and remains the only outcome unless a
+    :mod:`repro.faults` hook is installed.
+    """
+
+    #: Delivered on the first attempt.
+    OK = 0
+    #: Delivered after one or more CRC-detected corruptions and retries.
+    RETRIED = 1
+    #: Retry budget exhausted; delivery escalated (counted as a timeout).
+    TIMED_OUT = 2
+
+
+#: A fault hook's verdict on one delivered packet: ``None`` accepts it,
+#: a float re-requests a slot at that absolute time (retry w/ backoff),
+#: ``TIMED_OUT`` gives up after the bounded retries.
+FaultVerdict = Union[float, TransactionOutcome, None]
 
 
 @dataclass(slots=True, eq=False)
@@ -51,12 +84,16 @@ class RingGrant:
 
     #: Time the transaction was requested.
     requested_at: float
-    #: Time the slot was claimed (requested_at + wait).
+    #: Time the slot was first claimed (requested_at + wait).
     injected_at: float
-    #: Time the response arrived back at the requester.
+    #: Time the (final, accepted) response arrived back at the requester.
     completed_at: float
     #: Which sub-ring carried it.
     subring: int
+    #: Slots claimed in total (1 + retries forced by packet corruption).
+    attempts: int = 1
+    #: How delivery concluded (always ``OK`` without a fault hook).
+    outcome: TransactionOutcome = TransactionOutcome.OK
 
     @property
     def wait_cycles(self) -> float:
@@ -65,7 +102,8 @@ class RingGrant:
 
     @property
     def total_cycles(self) -> float:
-        """Request-to-response latency including queueing."""
+        """Request-to-response latency including queueing and any
+        fault-forced retries."""
         return self.completed_at - self.requested_at
 
 
@@ -113,6 +151,17 @@ class SlottedRing:
         #: ``(ring, requested_at, wait_cycles, transit_cycles)`` — see
         #: :mod:`repro.obs`.  ``None`` (the default) costs one branch.
         self.probe: Optional[Callable[["SlottedRing", float, float, float], None]] = None
+        #: Opt-in fault seam called per delivered packet with
+        #: ``(ring, subring, completed_at, attempt)``; returns a
+        #: :data:`FaultVerdict`.  Installed by
+        #: :class:`repro.faults.FaultInjector` for lossy rings.
+        self.fault_hook: Optional[
+            Callable[["SlottedRing", int, float, int], FaultVerdict]
+        ] = None
+        #: Opt-in extra slot-alignment delay per claim (degraded slot
+        #: timing margins); draws must come from the fault injector's
+        #: own stream, never this ring's workload stream.
+        self.fault_jitter: Optional[Callable[[], float]] = None
 
     def subring_of(self, subpage_id: int) -> int:
         """Sub-ring carrying traffic for ``subpage_id`` (address
@@ -135,6 +184,36 @@ class SlottedRing:
         if overhead_cycles is None:
             overhead_cycles = self._overhead
         subring = subpage_id % self._n_subrings
+        injected, completed = self._claim(now, subring, overhead_cycles)
+        hook = self.fault_hook
+        if hook is None:
+            return RingGrant(now, injected, completed, subring)
+        attempts = 1
+        outcome = TransactionOutcome.OK
+        while True:
+            verdict = hook(self, subring, completed, attempts)
+            if verdict is None:
+                break
+            if verdict is TransactionOutcome.TIMED_OUT:
+                outcome = TransactionOutcome.TIMED_OUT
+                break
+            # CRC failure: the retry claims a real slot at the hook's
+            # backoff time, so lossy rings burn genuine bandwidth.
+            _, completed = self._claim(verdict, subring, overhead_cycles)
+            attempts += 1
+            outcome = TransactionOutcome.RETRIED
+        return RingGrant(now, injected, completed, subring, attempts, outcome)
+
+    def _claim(
+        self, now: float, subring: int, overhead_cycles: float
+    ) -> tuple[float, float]:
+        """Claim one slot requested at ``now``; returns (injected, completed).
+
+        The single place slots are granted: every claim — first attempt
+        or fault retry — draws jitter, updates the heap and counters,
+        and notifies the probe, so retries are indistinguishable from
+        fresh traffic to contention and observability.
+        """
         heap = self._free[subring]
         # Batched jitter: one uniform(0, spacing, size=N) call consumes
         # exactly the same stream values as N single draws, so batching
@@ -144,6 +223,8 @@ class SlottedRing:
             buf[:] = self.rng.uniform(0.0, self._spacing, size=_JITTER_BATCH).tolist()
             buf.reverse()
         earliest = now + buf.pop()
+        if self.fault_jitter is not None:
+            earliest += self.fault_jitter()
         # earliest-free slot of this sub-ring (round-robin fairness)
         free, slot = heap[0]
         injected = earliest if earliest > free else free
@@ -154,7 +235,7 @@ class SlottedRing:
         self.total_transit_cycles += completed - injected
         if self.probe is not None:
             self.probe(self, now, injected - now, completed - injected)
-        return RingGrant(now, injected, completed, subring)
+        return injected, completed
 
     def piggyback_window(self, grant: RingGrant) -> tuple[float, float]:
         """Time window during which the response packet of ``grant``

@@ -83,6 +83,10 @@ class EngineStats:
 
     #: Events executed so far.
     events_fired: int
+    #: Events ever scheduled (fired, pending or cancelled).  Paired
+    #: with ``events_fired`` this pins a run's full event history, which
+    #: is how the fault tests prove a zero-fault plan changes nothing.
+    events_scheduled: int
     #: Host seconds spent inside :meth:`Engine.run` / :meth:`Engine.step`.
     wall_seconds: float
     #: ``events_fired / wall_seconds`` (0.0 before the first run).
@@ -143,6 +147,11 @@ class Engine:
         return self._n_fired
 
     @property
+    def events_scheduled(self) -> int:
+        """Number of events ever scheduled on this engine."""
+        return self._seq
+
+    @property
     def pending(self) -> int:
         """Number of queued (possibly cancelled) events."""
         return len(self._queue)
@@ -153,6 +162,7 @@ class Engine:
         rate = self._n_fired / self._wall_s if self._wall_s > 0 else 0.0
         return EngineStats(
             events_fired=self._n_fired,
+            events_scheduled=self._seq,
             wall_seconds=self._wall_s,
             events_per_sec=rate,
             sim_time=self._now,

@@ -124,6 +124,51 @@ class TestKSR102TimeEquality:
         assert _lint("if engine.now == 0.0:\n    pass\n", "util/stats.py") == []
 
 
+class TestKSR103RngConstruction:
+    def test_random_random_is_flagged(self):
+        flags = _lint("rng = random.Random(42)\n", "experiments/foo.py")
+        assert _codes(flags) == ["KSR103"]
+        assert "random.Random" in flags[0].message
+        assert "repro.util.rng" in flags[0].message
+
+    def test_system_random_is_flagged(self):
+        flags = _lint("rng = random.SystemRandom()\n", "experiments/foo.py")
+        assert _codes(flags) == ["KSR103"]
+
+    def test_numpy_legacy_randomstate_is_flagged(self):
+        flags = _lint("rng = np.random.RandomState(7)\n", "kernels/foo.py")
+        assert _codes(flags) == ["KSR103"]
+        assert "np.random.RandomState" in flags[0].message
+
+    def test_from_import_alias_is_flagged(self):
+        flags = _lint(
+            """
+            from random import Random as Rng
+            rng = Rng(42)
+            """,
+            "experiments/foo.py",
+        )
+        assert _codes(flags) == ["KSR103"]
+        assert "Rng" in flags[0].message
+
+    def test_default_rng_is_not_flagged(self):
+        # The seeded Generator API is the sanctioned numpy entry point.
+        assert _lint("rng = np.random.default_rng(7)\n", "kernels/foo.py") == []
+
+    def test_unrelated_constructors_are_not_flagged(self):
+        assert _lint("x = Random(1)\ny = state.RandomState\n", "util/stats.py") == []
+
+    def test_rng_module_itself_is_exempt(self):
+        assert _lint("rng = np.random.RandomState(7)\n", "util/rng.py") == []
+
+    def test_applies_outside_sim_packages_too(self):
+        # KSR100 already bans `random` inside sim packages; KSR103 must
+        # reach code KSR100 does not (experiments, kernels, analysis).
+        src = "import random\nrng = random.Random(1)\n"
+        flags = _lint(src, "analysis/foo.py")
+        assert _codes(flags) == ["KSR103"]
+
+
 class TestTreeAndReport:
     def test_real_tree_is_clean(self):
         assert lint_paths() == []

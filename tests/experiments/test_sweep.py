@@ -45,6 +45,32 @@ class TestPointKey:
         assert len(version) == 64
         int(version, 16)  # raises if not hex
 
+    def test_cache_token_keys_the_point(self):
+        # Arguments exposing a `cache_token` (FaultPlan) are keyed by
+        # it, so flipping any plan field is a cache miss...
+        from repro.faults import FaultPlan
+
+        a = point_key(square, dict(x=1, plan=FaultPlan(corruption_rate=1e-4)))
+        b = point_key(square, dict(x=1, plan=FaultPlan(corruption_rate=1e-3)))
+        assert a != b
+
+    def test_equal_plans_share_a_key(self):
+        # ...while two equal plans (distinct instances) hit the cache.
+        from repro.faults import FaultPlan
+
+        a = point_key(square, dict(x=1, plan=FaultPlan(dead_cells=(5,))))
+        b = point_key(square, dict(x=1, plan=FaultPlan(dead_cells=(5,))))
+        assert a == b
+
+    def test_injector_version_bump_invalidates(self, monkeypatch):
+        from repro.faults import FaultPlan
+        import repro.faults.plan as plan_module
+
+        before = point_key(square, dict(plan=FaultPlan()))
+        monkeypatch.setattr(plan_module, "INJECTOR_VERSION", 2)
+        after = point_key(square, dict(plan=FaultPlan()))
+        assert before != after
+
 
 class TestResultCache:
     def test_roundtrip(self, tmp_path):

@@ -1,0 +1,88 @@
+"""Tests for the ksr-faults command line."""
+
+import json
+
+import pytest
+
+from repro.faults.cli import main
+from repro.obs.export import validate_chrome_trace
+
+_FAST = ["--processors", "4", "--fault-rates", "0,1e-3", "--ops", "6", "--no-cache"]
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Keep any cache writes inside the test's tmp directory."""
+    monkeypatch.setenv("KSR_CACHE_DIR", str(tmp_path / "cache"))
+
+
+class TestSelection:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign" in out
+        assert "smoke" in out
+
+    def test_no_command_is_usage_error(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().err.lower()
+
+    def test_unknown_command(self, capsys):
+        assert main(["detonate"]) == 2
+        assert "detonate" in capsys.readouterr().err
+
+    def test_bad_processor_list(self):
+        with pytest.raises(SystemExit, match="processor"):
+            main(["campaign", "--processors", "8,many"])
+
+    def test_bad_rate_list(self):
+        with pytest.raises(SystemExit, match="fault rate"):
+            main(["campaign", "--processors", "4", "--fault-rates", "0,often"])
+
+
+class TestCampaign:
+    def test_summary_table(self, capsys):
+        assert main(["campaign", *_FAST]) == 0
+        out = capsys.readouterr().out
+        assert "Lock workload resilience" in out
+        assert "fault rate" in out
+        assert "slowdown" in out
+
+    def test_json_format(self, capsys):
+        assert main(["campaign", *_FAST, "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["experiment"] == "FAULTS"
+        assert len(doc["points"]) == 2
+        rates = {p["fault_rate"] for p in doc["points"]}
+        assert rates == {0.0, 1e-3}
+
+    def test_output_file(self, tmp_path, capsys):
+        out_file = tmp_path / "campaign.json"
+        assert main(["campaign", *_FAST, "--output", str(out_file)]) == 0
+        assert str(out_file) in capsys.readouterr().err
+        doc = json.loads(out_file.read_text())
+        assert doc["experiment"] == "FAULTS"
+
+    def test_trace_dir(self, tmp_path, capsys):
+        trace_dir = tmp_path / "traces"
+        assert main(["campaign", *_FAST, "--trace-dir", str(trace_dir)]) == 0
+        traces = sorted(trace_dir.glob("*.trace.json"))
+        assert len(traces) == 2  # one per fault rate
+        for path in traces:
+            assert validate_chrome_trace(json.loads(path.read_text())) == []
+
+
+class TestSmoke:
+    def test_smoke_runs_one_processor_count_and_two_rates(self, tmp_path, capsys):
+        out_file = tmp_path / "smoke.json"
+        assert (
+            main(
+                ["smoke", "--processors", "4,8,16", "--fault-rate", "1e-3",
+                 "--ops", "30", "--no-cache", "--output", str(out_file)]
+            )
+            == 0
+        )
+        doc = json.loads(out_file.read_text())
+        points = doc["points"]
+        assert {p["n_procs"] for p in points} == {4}  # first count only
+        assert {p["fault_rate"] for p in points} == {0.0, 1e-3}

@@ -1,0 +1,184 @@
+"""FaultInjector: each fault model's behaviour and bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.faults import FAULT_TOTAL_KEYS, FaultCounters, FaultInjector, FaultPlan
+from repro.machine.ksr import KsrMachine
+from repro.sim.process import Compute, Read, Write
+from tests.conftest import quiet_ksr1, quiet_ksr2
+
+
+def _worker(n_ops: int = 40):
+    def gen():
+        for i in range(n_ops):
+            yield Read(i * 128)
+            yield Write(i * 128, i)
+            yield Compute(20)
+    return gen()
+
+
+def _run(plan: FaultPlan | None, *, n_cells: int = 4, config=None) -> KsrMachine:
+    machine = KsrMachine(config or quiet_ksr1(n_cells))
+    if plan is not None:
+        FaultInjector(plan).attach(machine)
+    dead = plan.dead_cells if plan is not None else ()
+    for c in range(machine.config.n_cells):
+        if c in dead:
+            continue
+        machine.spawn(f"w{c}", _worker(), cell_id=c)
+    machine.run()
+    return machine
+
+
+class TestWiring:
+    def test_attach_returns_self_and_registers(self):
+        machine = KsrMachine(quiet_ksr1())
+        injector = FaultInjector(FaultPlan())
+        assert injector.attach(machine) is injector
+        assert machine.fault_injector is injector
+
+    def test_double_attach_rejected(self):
+        machine = KsrMachine(quiet_ksr1())
+        injector = FaultInjector(FaultPlan()).attach(machine)
+        with pytest.raises(SimulationError):
+            injector.attach(KsrMachine(quiet_ksr1()))
+        with pytest.raises(SimulationError):
+            FaultInjector(FaultPlan()).attach(machine)
+
+    def test_zero_plan_installs_no_hooks(self):
+        machine = KsrMachine(quiet_ksr1())
+        FaultInjector(FaultPlan()).attach(machine)
+        assert all(r.fault_hook is None for r in machine.hierarchy.all_rings)
+        assert all(r.fault_jitter is None for r in machine.hierarchy.all_rings)
+        assert all(c.fault_delay is None for c in machine.cells)
+        assert machine.hierarchy.fault_injector is None
+        assert machine.protocol.fault_accounting is False
+
+    def test_detach_unwires_everything(self):
+        machine = KsrMachine(quiet_ksr1())
+        plan = FaultPlan(corruption_rate=0.1, stall_rate=1e-5,
+                         slot_jitter_cycles=2.0, dead_cells=(3,))
+        injector = FaultInjector(plan).attach(machine)
+        injector.detach()
+        assert machine.fault_injector is None
+        assert all(r.fault_hook is None for r in machine.hierarchy.all_rings)
+        assert all(c.fault_delay is None for c in machine.cells)
+        assert machine.hierarchy.fault_injector is None
+        assert machine.protocol.fault_accounting is False
+
+    def test_dead_cell_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultInjector(FaultPlan(dead_cells=(9,))).attach(KsrMachine(quiet_ksr1(4)))
+
+    def test_killing_every_cell_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultInjector(FaultPlan(dead_cells=(0, 1, 2, 3))).attach(
+                KsrMachine(quiet_ksr1(4))
+            )
+
+    def test_spawn_on_dead_cell_rejected(self):
+        machine = KsrMachine(quiet_ksr1(4))
+        FaultInjector(FaultPlan(dead_cells=(2,))).attach(machine)
+        with pytest.raises(SimulationError, match="dead"):
+            machine.spawn("w", _worker(), cell_id=2)
+
+
+class TestCorruption:
+    def test_corruption_counts_and_slows(self):
+        clean = _run(None)
+        faulty = _run(FaultPlan(corruption_rate=0.05))
+        counters = faulty.fault_injector.counters
+        assert counters.corrupted_packets > 0
+        assert counters.retries > 0
+        assert faulty.engine.now > clean.engine.now
+
+    def test_retries_burn_real_slots(self):
+        # Within one run on a single leaf ring, every protocol request
+        # claims exactly one slot and every retry claims one more, so
+        # ring-level claims exceed protocol-level transactions by the
+        # retry count.  (Comparing against a clean run would be wrong:
+        # retry delays shift timing-dependent protocol paths.)
+        faulty = _run(FaultPlan(corruption_rate=0.05))
+        counters = faulty.fault_injector.counters
+        assert counters.retries > 0
+        assert (
+            faulty.hierarchy.n_transactions
+            == faulty.total_perf().ring_transactions + counters.retries
+        )
+
+    def test_retries_reach_perfmon(self):
+        faulty = _run(FaultPlan(corruption_rate=0.05))
+        perf = faulty.total_perf()
+        assert perf.ring_retries == faulty.fault_injector.counters.retries
+
+    def test_exhausted_retries_time_out(self):
+        # At 90% corruption with a budget of 1 the ring times out often.
+        faulty = _run(FaultPlan(corruption_rate=0.9, max_retries=1))
+        counters = faulty.fault_injector.counters
+        assert counters.timeouts > 0
+        assert faulty.total_perf().ring_timeouts > 0
+
+
+class TestStalls:
+    def test_stalls_charge_cycles_and_slow_the_run(self):
+        clean = _run(None)
+        faulty = _run(FaultPlan(stall_rate=1e-4, stall_cycles=3000.0))
+        counters = faulty.fault_injector.counters
+        assert counters.stall_cycles > 0
+        assert faulty.engine.now > clean.engine.now
+        assert faulty.total_perf().fault_stall_cycles == pytest.approx(
+            counters.stall_cycles
+        )
+
+    def test_responder_stall_issues_timeout_probes(self):
+        faulty = _run(
+            FaultPlan(stall_rate=1e-4, stall_cycles=8000.0,
+                      request_timeout_cycles=1000.0)
+        )
+        counters = faulty.fault_injector.counters
+        assert counters.timeouts > 0
+        assert counters.retries > 0
+
+
+class TestJitterAndDeadCells:
+    def test_jitter_changes_timing_only(self):
+        clean = _run(None)
+        faulty = _run(FaultPlan(slot_jitter_cycles=4.0))
+        assert faulty.engine.now != clean.engine.now
+        counters = faulty.fault_injector.counters
+        assert counters.corrupted_packets == 0
+        assert counters.retries == 0
+
+    def test_dead_cells_add_bypass_latency(self):
+        clean = _run(None, n_cells=4)
+        faulty = _run(FaultPlan(dead_cells=(3,)), n_cells=4)
+        counters = faulty.fault_injector.counters
+        assert counters.bypass_hops > 0
+        assert faulty.engine.now > clean.engine.now
+        assert faulty.total_perf().ring_bypass_hops == counters.bypass_hops
+
+    def test_dead_cell_on_remote_ring_charges_cross_ring_paths(self):
+        # KSR-2: cell 40 lives on the second leaf ring; same-ring
+        # traffic on ring 0 is unaffected, crossings pay the bypass.
+        config = quiet_ksr2(64)
+        machine = KsrMachine(config)
+        injector = FaultInjector(FaultPlan(dead_cells=(40,))).attach(machine)
+        machine.spawn("a", _worker(), cell_id=0)
+        machine.spawn("b", _worker(), cell_id=33)
+        machine.run()
+        assert injector.counters.bypass_hops > 0
+
+
+class TestCounters:
+    def test_snapshot_is_all_floats(self):
+        snap = FaultCounters().snapshot()
+        assert set(snap) == set(FAULT_TOTAL_KEYS)
+        assert all(type(v) is float for v in snap.values())
+
+    def test_faulty_and_clean_runs_have_matching_key_sets(self):
+        faulty = _run(FaultPlan(corruption_rate=0.05))
+        snap = faulty.fault_injector.counters.snapshot()
+        assert set(snap) == set(FAULT_TOTAL_KEYS)

@@ -1,0 +1,86 @@
+"""FaultPlan: validation, canonicalization, cache identity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import INJECTOR_VERSION, FaultPlan
+
+
+class TestValidation:
+    def test_default_plan_is_zero(self):
+        assert FaultPlan().is_zero
+
+    @pytest.mark.parametrize("field", ["corruption_rate", "stall_rate"])
+    @pytest.mark.parametrize("value", [-0.1, 1.0, 2.0])
+    def test_rates_must_be_probabilities(self, field, value):
+        with pytest.raises(ConfigError):
+            FaultPlan(**{field: value})
+
+    def test_max_retries_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(max_retries=0)
+
+    @pytest.mark.parametrize(
+        "field",
+        ["retry_backoff_cycles", "stall_cycles", "request_timeout_cycles",
+         "bypass_hop_cycles"],
+    )
+    def test_cycle_budgets_must_be_positive(self, field):
+        with pytest.raises(ConfigError):
+            FaultPlan(**{field: 0.0})
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(slot_jitter_cycles=-1.0)
+
+    def test_negative_dead_cell_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(dead_cells=(-1,))
+
+    def test_dead_cells_sorted_and_deduplicated(self):
+        plan = FaultPlan(dead_cells=(5, 2, 5, 3))
+        assert plan.dead_cells == (2, 3, 5)
+
+
+class TestZeroPredicate:
+    def test_budget_knobs_do_not_disqualify_zero(self):
+        # Retry budgets are irrelevant when no fault source is enabled.
+        assert FaultPlan(max_retries=3, retry_backoff_cycles=10.0).is_zero
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(corruption_rate=1e-6), dict(stall_rate=1e-9),
+         dict(slot_jitter_cycles=0.5), dict(dead_cells=(1,))],
+    )
+    def test_any_fault_source_disqualifies_zero(self, kwargs):
+        assert not FaultPlan(**kwargs).is_zero
+
+
+class TestCacheToken:
+    def test_stable_across_instances(self):
+        a = FaultPlan(corruption_rate=1e-4)
+        b = FaultPlan(corruption_rate=1e-4)
+        assert a.cache_token == b.cache_token
+
+    def test_distinct_plans_distinct_tokens(self):
+        a = FaultPlan(corruption_rate=1e-4)
+        b = FaultPlan(corruption_rate=1e-3)
+        assert a.cache_token != b.cache_token
+
+    def test_token_embeds_injector_version(self):
+        assert f"-v{INJECTOR_VERSION}-" in FaultPlan().cache_token
+
+    def test_seed_salt_changes_token(self):
+        assert FaultPlan(seed_salt=0).cache_token != FaultPlan(seed_salt=1).cache_token
+
+
+class TestDescribe:
+    def test_zero_plan(self):
+        assert FaultPlan().describe() == "FaultPlan(zero)"
+
+    def test_lists_only_non_defaults(self):
+        text = FaultPlan(corruption_rate=1e-3).describe()
+        assert "corruption_rate=0.001" in text
+        assert "stall_rate" not in text

@@ -1,0 +1,101 @@
+"""ArdRouter's explicit transaction table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.machine.ksr import KsrMachine
+from repro.ring.ard import ArdRouter, ArdTransaction, ArdTxnState
+from repro.sim.process import Compute, Read, Write
+from tests.conftest import quiet_ksr2
+
+
+class TestLifecycle:
+    def test_open_tables_a_pending_transaction(self):
+        ard = ArdRouter(ring_index=0)
+        txn = ard.open(subpage_id=7, src_ring=0, dst_ring=1, at=100.0)
+        assert isinstance(txn, ArdTransaction)
+        assert txn.state is ArdTxnState.PENDING
+        assert txn.resolved_at is None
+        assert ard.outstanding == 1
+        assert ard.pending_transactions() == [txn]
+
+    def test_txn_ids_are_sequential(self):
+        ard = ArdRouter(ring_index=0)
+        a = ard.open(1, 0, 1, at=0.0)
+        b = ard.open(2, 0, 1, at=1.0)
+        assert (a.txn_id, b.txn_id) == (0, 1)
+
+    def test_complete_resolves_and_counts(self):
+        ard = ArdRouter(ring_index=0)
+        txn = ard.open(7, 0, 1, at=100.0)
+        ard.complete(txn, at=250.0)
+        assert txn.state is ArdTxnState.COMPLETED
+        assert txn.resolved_at == 250.0
+        assert ard.outstanding == 0
+        assert (ard.n_opened, ard.n_completed, ard.n_timed_out) == (1, 1, 0)
+
+    def test_timeout_resolves_and_counts(self):
+        ard = ArdRouter(ring_index=0)
+        txn = ard.open(7, 0, 1, at=100.0)
+        ard.timeout(txn, at=900.0)
+        assert txn.state is ArdTxnState.TIMED_OUT
+        assert (ard.n_opened, ard.n_completed, ard.n_timed_out) == (1, 0, 1)
+
+    def test_pending_transactions_oldest_first(self):
+        ard = ArdRouter(ring_index=0)
+        txns = [ard.open(i, 0, 1, at=float(i)) for i in range(3)]
+        ard.complete(txns[1], at=10.0)
+        assert ard.pending_transactions() == [txns[0], txns[2]]
+
+
+class TestDoubleResolution:
+    def test_completing_twice_raises_naming_the_txn(self):
+        ard = ArdRouter(ring_index=0)
+        txn = ard.open(7, 0, 1, at=100.0)
+        ard.complete(txn, at=250.0)
+        with pytest.raises(SimulationError, match=rf"txn #{txn.txn_id}.*completed"):
+            ard.complete(txn, at=300.0)
+
+    def test_timeout_after_complete_raises(self):
+        ard = ArdRouter(ring_index=0)
+        txn = ard.open(7, 0, 1, at=100.0)
+        ard.complete(txn, at=250.0)
+        with pytest.raises(SimulationError, match="resolved twice"):
+            ard.timeout(txn, at=300.0)
+
+    def test_foreign_transaction_rejected(self):
+        ard_a = ArdRouter(ring_index=0)
+        ard_b = ArdRouter(ring_index=1)
+        txn = ard_a.open(7, 0, 1, at=100.0)
+        with pytest.raises(SimulationError, match="not tabled"):
+            ard_b.complete(txn, at=250.0)
+
+
+class TestValidation:
+    def test_negative_crossing_cost_rejected(self):
+        with pytest.raises(ValueError):
+            ArdRouter(ring_index=0, crossing_cycles=-1.0)
+
+
+class TestInSimulation:
+    def test_cross_ring_traffic_opens_and_resolves_transactions(self):
+        # KSR-2: cells 0 and 33 live on different leaf rings, so their
+        # shared addresses force inter-ring paths through the ARDs.
+        machine = KsrMachine(quiet_ksr2(64))
+
+        def worker():
+            for i in range(20):
+                yield Read(i * 128)
+                yield Write(i * 128, i)
+                yield Compute(20)
+
+        machine.spawn("a", worker(), cell_id=0)
+        machine.spawn("b", worker(), cell_id=33)
+        machine.run()
+        opened = sum(a.n_opened for a in machine.hierarchy.ards)
+        resolved = sum(a.n_completed + a.n_timed_out for a in machine.hierarchy.ards)
+        assert opened > 0
+        assert resolved == opened
+        assert all(a.outstanding == 0 for a in machine.hierarchy.ards)
