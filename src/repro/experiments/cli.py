@@ -255,6 +255,12 @@ def main(argv: list[str] | None = None) -> int:
         help="write one Chrome-trace JSON per sweep point into DIR "
         "(fig2/fig3/fig4/fig5; view with about:tracing or Perfetto)",
     )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="report the resolved cache location and hit/miss/corrupt "
+        "counts after the run",
+    )
     args = parser.parse_args(argv)
     from repro.experiments.sweep import ResultCache, SweepRunner
 
@@ -288,6 +294,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  [{key} completed in {elapsed:.1f}s]")
         print()
         sections.append(f"```\n{rendered}\n```\n_completed in {elapsed:.1f}s_\n")
+    if args.verbose and args.runner.cache is not None:
+        from repro.util.cli import format_cache_stats
+
+        print(format_cache_stats(args.runner.cache.stats()))
     if args.output:
         write_report(args.output, "ksr-experiments report", sections)
     return 0

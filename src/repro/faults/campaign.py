@@ -28,7 +28,7 @@ from repro.faults.plan import FaultPlan
 from repro.obs import ObsSpec
 from repro.obs.export import point_slug, write_chrome_trace
 
-__all__ = ["CampaignResult", "run_campaign"]
+__all__ = ["CampaignResult", "build_campaign_calls", "assemble_campaign", "run_campaign"]
 
 #: Default per-packet corruption rates swept by ``ksr-faults campaign``.
 DEFAULT_RATES = (0.0, 1e-5, 1e-4, 1e-3)
@@ -62,6 +62,33 @@ class CampaignResult:
         return self.result.render()
 
 
+def build_campaign_calls(
+    proc_counts: list[int],
+    fault_rates: list[float],
+    *,
+    ops: int = 30,
+    seed: int = 303,
+    obs: ObsSpec | None = None,
+) -> list[dict]:
+    """The campaign grid as independent, cacheable point calls.
+
+    Split out of :func:`run_campaign` so the serving layer can batch a
+    campaign's points into :class:`SweepRunner` fan-outs (and pin their
+    cache keys) exactly like any other sweep, then assemble the table
+    with :func:`assemble_campaign`.
+    """
+    calls = [
+        dict(kind="rw", n_procs=p, read_fraction=0.0, ops=ops, seed=seed,
+             plan=FaultPlan(corruption_rate=r))
+        for p in proc_counts
+        for r in fault_rates
+    ]
+    if obs is not None:
+        for call in calls:
+            call["obs"] = obs
+    return calls
+
+
 def run_campaign(
     proc_counts: list[int] | None = None,
     fault_rates: list[float] | None = None,
@@ -85,6 +112,27 @@ def run_campaign(
         runner = SweepRunner()
     if trace_dir is not None and obs is None:
         obs = ObsSpec()
+    calls = build_campaign_calls(proc_counts, fault_rates, ops=ops, seed=seed, obs=obs)
+    points = runner.map(degraded_lock_point, calls)
+    return assemble_campaign(
+        proc_counts, fault_rates, calls, points, ops=ops, trace_dir=trace_dir
+    )
+
+
+def assemble_campaign(
+    proc_counts: list[int],
+    fault_rates: list[float],
+    calls: list[dict],
+    points: list,
+    *,
+    ops: int = 30,
+    trace_dir: str | None = None,
+) -> CampaignResult:
+    """Fold computed points back into the campaign table + tallies.
+
+    ``calls``/``points`` must be aligned and ordered as produced by
+    :func:`build_campaign_calls` (processors outer, rates inner).
+    """
     result = ExperimentResult(
         experiment_id="FAULTS",
         title=f"Lock workload resilience, {ops} ops/processor",
@@ -93,16 +141,6 @@ def run_campaign(
             "retries", "timeouts", "corrupted", "ring tx",
         ],
     )
-    calls = [
-        dict(kind="rw", n_procs=p, read_fraction=0.0, ops=ops, seed=seed,
-             plan=FaultPlan(corruption_rate=r))
-        for p in proc_counts
-        for r in fault_rates
-    ]
-    if obs is not None:
-        for call in calls:
-            call["obs"] = obs
-    points = runner.map(degraded_lock_point, calls)
     campaign = CampaignResult(result=result)
     it = iter(zip(calls, points))
     for p in proc_counts:

@@ -25,7 +25,7 @@ from repro.obs.export import (
 )
 from repro.obs.probes import Observer, ObsCapture, ObsSpec
 from repro.obs.series import MachineSeries, SeriesView
-from repro.obs.summary import render_summary
+from repro.obs.summary import capture_summary, render_summary
 
 __all__ = [
     "MachineSeries",
@@ -33,6 +33,7 @@ __all__ = [
     "ObsSpec",
     "Observer",
     "SeriesView",
+    "capture_summary",
     "chrome_trace_events",
     "export_chrome",
     "export_csv",

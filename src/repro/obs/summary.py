@@ -9,12 +9,35 @@ from the bucketed series, rendered with the shared fixed-width
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.obs.probes import ObsCapture
 from repro.util.tables import Table
 
-__all__ = ["render_summary"]
+__all__ = ["capture_summary", "render_summary"]
+
+
+def capture_summary(capture: ObsCapture) -> dict[str, Any]:
+    """One capture as a compact JSON-safe dict.
+
+    The serving layer (:mod:`repro.service`) attaches these to HTTP
+    responses instead of full captures: every number a response needs
+    for a quick saturation read, none of the per-op records.  Keys are
+    plain scalars/dicts so ``json.dumps`` works directly, and equal
+    captures summarise identically (the values are drawn from the
+    frozen capture, nothing is re-derived).
+    """
+    return {
+        "label": capture.label,
+        "n_cells": capture.n_cells,
+        "sim_seconds": capture.end_seconds,
+        "totals": {k: v for k, v in sorted(capture.totals.items())},
+        "derived": {k: v for k, v in sorted(capture.derived.items())},
+        "directory": {k: v for k, v in sorted(capture.directory.items())},
+        "faults": {k: v for k, v in sorted(capture.faults.items())},
+        "peak_ring_utilization": capture.view.peak("ring_utilization"),
+        "dropped_records": capture.dropped_records,
+    }
 
 
 def render_summary(captures: Sequence[ObsCapture]) -> str:

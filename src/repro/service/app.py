@@ -1,0 +1,172 @@
+"""The HTTP/JSON surface of ``ksr-serve``.
+
+Stdlib-only (``http.server``): the serving layer must run in the bare
+container the simulator runs in.  A :class:`ServiceApp` owns the
+scheduler + sharded cache; :func:`make_server` binds it to a
+``ThreadingHTTPServer`` so every request handler thread can block on a
+job without stalling the listener.
+
+Endpoints::
+
+    GET  /healthz            liveness + uptime
+    GET  /v1/stats           cache + scheduler counters
+    GET  /v1/experiments     served job kinds and their defaults
+    POST /v1/jobs            submit {"kind": ..., "params": {...}}
+                             (+"wait": true to block for the result,
+                              +"obs": true for capture summaries)
+    GET  /v1/jobs/<id>       job status / result
+
+Overload surfaces as ``429`` with a ``Retry-After`` header (seconds);
+oversized jobs as ``413``; malformed requests as ``400`` — all with a
+JSON body carrying ``error``.  Every job response embeds the cache
+hit/miss/corrupt deltas for that execution, which is what the CI smoke
+check asserts its ≥95%-hits-on-resubmit property against.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.service.backends import make_backend
+from repro.service.cache2 import ShardedResultCache
+from repro.service.jobs import JobSpec, ServiceError, describe_catalog
+from repro.service.scheduler import RejectedError, Scheduler
+
+__all__ = ["ServiceApp", "make_server"]
+
+#: Longest a ``"wait": true`` submission may block the handler thread.
+MAX_WAIT_SECONDS = 600.0
+
+
+class ServiceApp:
+    """Scheduler + cache + catalog behind one handler-friendly facade."""
+
+    def __init__(
+        self,
+        cache_dir: str,
+        *,
+        backend: str = "process:2",
+        cap_bytes: int | None = None,
+        workers: int = 2,
+        queue_cap: int = 8,
+        max_points: int = 512,
+        max_batch: int = 64,
+    ):
+        self.cache = ShardedResultCache(cache_dir, cap_bytes=cap_bytes)
+        self.scheduler = Scheduler(
+            make_backend(backend),
+            self.cache,
+            workers=workers,
+            queue_cap=queue_cap,
+            max_points=max_points,
+            max_batch=max_batch,
+        )
+        self.started_at = time.time()
+
+    def close(self) -> None:
+        """Drain the scheduler's workers and release the backend."""
+        self.scheduler.close()
+
+    # -- request handling (pure: dict in, (status, doc, headers) out) --
+
+    def handle_get(self, path: str) -> tuple[int, dict[str, Any]]:
+        """Route a GET ``path`` to ``(status, json_doc)``."""
+        if path == "/healthz":
+            return 200, {
+                "status": "ok",
+                "uptime_s": round(time.time() - self.started_at, 3),
+            }
+        if path == "/v1/stats":
+            return 200, {
+                "cache": self.cache.stats(),
+                "scheduler": self.scheduler.stats(),
+            }
+        if path == "/v1/experiments":
+            return 200, describe_catalog()
+        if path.startswith("/v1/jobs/"):
+            job = self.scheduler.get(path.removeprefix("/v1/jobs/"))
+            if job is None:
+                return 404, {"error": "no such job"}
+            return 200, job.describe()
+        return 404, {"error": f"no such endpoint {path!r}"}
+
+    def handle_submit(
+        self, body: dict[str, Any]
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        """Admit one POSTed job ``body``; ``(status, doc, extra_headers)``.
+
+        202 queued, 200 done (``wait: true``), 4xx on bad/oversized/
+        rejected submissions — 429 carries a ``Retry-After`` header.
+        """
+        try:
+            spec = JobSpec.from_request(body)
+            job = self.scheduler.submit(spec)
+        except RejectedError as exc:
+            return (
+                exc.status,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                {"Retry-After": str(int(exc.retry_after + 0.5) or 1)},
+            )
+        except ServiceError as exc:
+            return exc.status, {"error": str(exc)}, {}
+        if body.get("wait"):
+            timeout = min(float(body.get("timeout", MAX_WAIT_SECONDS)), MAX_WAIT_SECONDS)
+            if not job.wait(timeout):
+                return 202, job.describe(), {}
+            return 200, job.describe(), {}
+        return 202, job.describe(), {}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin JSON adapter over :class:`ServiceApp` (one per request)."""
+
+    app: ServiceApp  # set by make_server on the subclass
+    verbose = False
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if self.verbose:  # pragma: no cover - log formatting only
+            super().log_message(format, *args)
+
+    def _reply(
+        self, status: int, doc: dict[str, Any], headers: dict[str, str] | None = None
+    ) -> None:
+        payload = json.dumps(doc, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        status, doc = self.app.handle_get(self.path)
+        self._reply(status, doc)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path != "/v1/jobs":
+            self._reply(404, {"error": f"no such endpoint {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            body = json.loads(self.rfile.read(length) or b"null")
+        except (ValueError, json.JSONDecodeError):
+            self._reply(400, {"error": "request body must be valid JSON"})
+            return
+        if not isinstance(body, dict):
+            self._reply(400, {"error": "request body must be a JSON object"})
+            return
+        status, doc, headers = self.app.handle_submit(body)
+        self._reply(status, doc, headers)
+
+
+def make_server(
+    app: ServiceApp, host: str = "127.0.0.1", port: int = 0, *, verbose: bool = False
+) -> ThreadingHTTPServer:
+    """Bind ``app`` to a threading HTTP server (``port=0``: ephemeral)."""
+    handler = type("KsrServeHandler", (_Handler,), {"app": app, "verbose": verbose})
+    return ThreadingHTTPServer((host, port), handler)

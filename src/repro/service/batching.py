@@ -1,0 +1,90 @@
+"""Batching policy: how requests become bounded fan-outs.
+
+Three mechanisms, all deliberately simple enough to reason about under
+concurrency:
+
+* **Batch splitting** — :func:`split_batches` caps how many points one
+  backend ``map`` sees at a time.  A 500-point campaign still completes,
+  but in bounded slices, so a single giant request cannot monopolise
+  the worker pool for its whole duration (smaller requests interleave
+  at batch boundaries) and at most one batch of work is outstanding on
+  the backend when the server is asked to shut down.
+* **Cost estimation** — :func:`estimate_points` prices a job spec in
+  sweep points *before* running it; admission control rejects requests
+  whose price exceeds the server's per-job bound instead of discovering
+  mid-run that it accepted a monster.
+* **Coalescing** — :class:`JobTable` maps a spec's canonical form to
+  its in-flight job, so N identical concurrent submissions cost one
+  execution; every waiter gets the same result object.  Point purity
+  makes this safe: identical specs *must* produce identical payloads.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator, Sequence
+
+from repro.service.jobs import SERVED_EXPERIMENTS, JobSpec
+
+__all__ = ["split_batches", "estimate_points", "JobTable"]
+
+#: Curves each figure sweeps per processor count (fig3: seven lock
+#: variants; fig4/fig5: nine barrier algorithms; fig2 measures a fixed
+#: set of (level, op) latency pairs per P).
+_CURVES_PER_EXPERIMENT = {"fig2": 6, "fig3": 7, "fig4": 9, "fig5": 9}
+
+
+def split_batches(calls: Sequence[Any], max_batch: int) -> Iterator[Sequence[Any]]:
+    """Yield ``calls`` in order, in slices of at most ``max_batch``."""
+    if max_batch < 1:
+        raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+    for start in range(0, len(calls), max_batch):
+        yield calls[start : start + max_batch]
+
+
+def estimate_points(spec: JobSpec) -> int:
+    """Upper-bound sweep points this job will fan out (admission price)."""
+    params = spec.param_dict()
+    if spec.kind == "experiment":
+        exp = params["experiment"]
+        assert exp in SERVED_EXPERIMENTS
+        return len(params["procs"]) * _CURVES_PER_EXPERIMENT[exp]
+    if spec.kind == "campaign":
+        return len(params["procs"]) * len(params["rates"])
+    return 1  # point
+
+
+class JobTable:
+    """Coalesces identical in-flight specs onto one job object.
+
+    ``claim`` either registers ``job`` as the canonical execution for
+    its spec (returns ``None``) or returns the already-in-flight job to
+    piggyback on.  ``release`` must be called when the canonical job
+    settles, after which the spec may run fresh again (results persist
+    in the cache, so a re-run is cheap anyway).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: dict[str, Any] = {}
+        self.coalesced = 0
+
+    def claim(self, canonical: str, job: Any) -> Any | None:
+        """Register ``job`` for ``canonical``, or return the in-flight one."""
+        with self._lock:
+            existing = self._inflight.get(canonical)
+            if existing is not None:
+                self.coalesced += 1
+                return existing
+            self._inflight[canonical] = job
+            return None
+
+    def release(self, canonical: str) -> None:
+        """Drop the claim; the next identical spec runs fresh."""
+        with self._lock:
+            self._inflight.pop(canonical, None)
+
+    def inflight_count(self) -> int:
+        """How many distinct specs are currently claimed."""
+        with self._lock:
+            return len(self._inflight)

@@ -1,0 +1,207 @@
+"""Command-line front end: ``ksr-serve``.
+
+Serve the paper's experiments over a local HTTP/JSON API::
+
+    ksr-serve                          # 127.0.0.1:8321, process pool of 2
+    ksr-serve --port 0 --verbose       # ephemeral port (printed on start)
+    ksr-serve --backend inline         # compute in the serving process
+    ksr-serve --jobs 8                 # shorthand for --backend process:8
+    ksr-serve --cache-dir /var/ksr --cache-cap-mb 256
+
+Submit work with any HTTP client::
+
+    curl -s localhost:8321/v1/experiments
+    curl -s -X POST localhost:8321/v1/jobs -d \
+      '{"kind": "experiment", "experiment": "fig3", "wait": true}'
+
+``--smoke EXPERIMENT`` is the self-test CI runs: it starts a server on
+an ephemeral port, submits the same job twice over real HTTP, and
+asserts (a) both responses render byte-identically and (b) the second
+run is served ≥95% from the sharded cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.request
+
+from repro.experiments.sweep import CACHE_DIR_ENV
+from repro.util.cli import format_cache_stats, install_sigpipe_handler
+
+__all__ = ["main", "post_job"]
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The ``ksr-serve`` argument parser (separate for testability)."""
+    parser = argparse.ArgumentParser(
+        prog="ksr-serve",
+        description="Serve KSR-1 experiment campaigns over a local HTTP/JSON API.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=8321, help="port (0: ephemeral)")
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="SPEC",
+        help="execution backend: inline, process, process:N (default process:2)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shorthand for --backend process:N",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=f"sharded cache root (default $${CACHE_DIR_ENV} or ./.ksr-cache2)",
+    )
+    parser.add_argument(
+        "--cache-cap-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="LRU-evict the cache down to this size (default: uncapped)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="concurrent job executors"
+    )
+    parser.add_argument(
+        "--queue-cap",
+        type=int,
+        default=8,
+        help="max accepted-but-unfinished jobs before 429 rejection",
+    )
+    parser.add_argument(
+        "--max-points",
+        type=int,
+        default=512,
+        help="per-job sweep-point admission bound (oversized jobs get 413)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="points per backend fan-out slice",
+    )
+    parser.add_argument(
+        "--smoke",
+        metavar="EXPERIMENT",
+        default=None,
+        help="self-test: serve EXPERIMENT twice over HTTP on an ephemeral "
+        "port, assert byte-identical output and >=95%% cache hits on the "
+        "resubmit, then exit",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log requests and cache stats"
+    )
+    return parser
+
+
+def _make_app(args):
+    import os
+
+    from repro.service.app import ServiceApp
+
+    cache_dir = args.cache_dir or os.environ.get(CACHE_DIR_ENV + "2", ".ksr-cache2")
+    backend = args.backend
+    if backend is None:
+        backend = f"process:{args.jobs}" if args.jobs else "process:2"
+    elif args.jobs:
+        raise SystemExit("pass --backend or --jobs, not both")
+    cap = int(args.cache_cap_mb * 1024 * 1024) if args.cache_cap_mb else None
+    return ServiceApp(
+        cache_dir,
+        backend=backend,
+        cap_bytes=cap,
+        workers=args.workers,
+        queue_cap=args.queue_cap,
+        max_points=args.max_points,
+        max_batch=args.max_batch,
+    )
+
+
+def post_job(base_url: str, body: dict, *, timeout: float = 600.0) -> dict:
+    """Submit one job body and return the decoded JSON response."""
+    request = urllib.request.Request(
+        f"{base_url}/v1/jobs",
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def run_smoke(args) -> int:
+    """The CI self-test (see module docstring)."""
+    import threading
+
+    from repro.service.app import make_server
+
+    app = _make_app(args)
+    server = make_server(app, args.host, 0, verbose=False)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://{server.server_address[0]}:{server.server_address[1]}"
+    body = {"kind": "experiment", "experiment": args.smoke, "wait": True}
+    try:
+        first = post_job(base, body)
+        second = post_job(base, body)
+    finally:
+        server.shutdown()
+        thread.join(timeout=10)
+        app.close()
+    for name, doc in (("first", first), ("second", second)):
+        if doc.get("status") != "done":
+            print(f"smoke: {name} submission did not finish: {doc}", file=sys.stderr)
+            return 1
+    if first["result"]["rendered"] != second["result"]["rendered"]:
+        print("smoke: resubmission rendered differently", file=sys.stderr)
+        return 1
+    stats = second["cache"]
+    lookups = stats["hits"] + stats["misses"]
+    rate = stats["hits"] / lookups if lookups else 0.0
+    print(first["result"]["rendered"])
+    print(
+        f"smoke {args.smoke}: resubmit {stats['hits']}/{lookups} cache hits "
+        f"({rate:.0%}) from {stats['root']}"
+    )
+    if rate < 0.95:
+        print("smoke: resubmit hit rate under 95%", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``ksr-serve``."""
+    install_sigpipe_handler()
+    args = build_serve_parser().parse_args(argv)
+    if args.smoke:
+        return run_smoke(args)
+    from repro.service.app import make_server
+
+    app = _make_app(args)
+    server = make_server(app, args.host, args.port, verbose=args.verbose)
+    host, port = server.server_address[0], server.server_address[1]
+    print(f"ksr-serve listening on http://{host}:{port}")
+    print(f"  backend {app.scheduler.backend.name}, "
+          f"{app.scheduler.stats()['workers']} workers, "
+          f"queue cap {app.scheduler.queue_cap}")
+    print(f"  {format_cache_stats(app.cache.stats())}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("shutting down")
+    finally:
+        server.shutdown()
+        app.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,251 @@
+"""Job specs: what one service request asks the machine to compute.
+
+A :class:`JobSpec` is the validated, canonicalised form of one request
+body.  Canonicalisation matters twice: it is how the batching layer
+coalesces identical concurrent requests into one execution, and it is
+what makes a job's identity stable for logs and tests.
+
+Three kinds are served (the same shapes `ksr-experiments`/`ksr-faults`
+expose, so a service response can be diffed against CLI output
+byte-for-byte):
+
+* ``experiment`` — one figure sweep (fig2/fig3/fig4/fig5); every sweep
+  point fans out through the scheduler's shared runner.
+* ``campaign`` — a fault campaign (processors x corruption rates) via
+  :mod:`repro.faults.campaign`.
+* ``point`` — a single degraded lock measurement, the smallest
+  request the API accepts.
+
+Each kind knows how to run itself against a provided
+:class:`~repro.experiments.sweep.SweepRunner`; everything else (queueing,
+batching, caching, capture summaries) is the scheduler's business.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.sweep import SweepRunner
+from repro.obs import ObsSpec
+
+__all__ = ["JobSpec", "ServiceError", "SERVED_EXPERIMENTS", "describe_catalog"]
+
+
+class ServiceError(ValueError):
+    """A client error with the HTTP status it should surface as."""
+
+    def __init__(self, message: str, *, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+def _run_fig2(params: dict[str, Any], runner: SweepRunner, obs: ObsSpec | None):
+    from repro.experiments.latency import run_figure2
+
+    return run_figure2(
+        proc_counts=params["procs"], samples=params["samples"],
+        seed=params["seed"], runner=runner, obs=obs,
+    )
+
+
+def _run_fig3(params: dict[str, Any], runner: SweepRunner, obs: ObsSpec | None):
+    from repro.experiments.locks import run_figure3
+
+    return run_figure3(
+        proc_counts=params["procs"], ops=params["ops"],
+        seed=params["seed"], runner=runner, obs=obs,
+    )
+
+
+def _run_fig4(params: dict[str, Any], runner: SweepRunner, obs: ObsSpec | None):
+    from repro.experiments.barriers import run_figure4
+
+    return run_figure4(
+        proc_counts=params["procs"], reps=params["reps"],
+        seed=params["seed"], runner=runner, obs=obs,
+    )
+
+
+def _run_fig5(params: dict[str, Any], runner: SweepRunner, obs: ObsSpec | None):
+    from repro.experiments.barriers import run_figure5
+
+    return run_figure5(
+        proc_counts=params["procs"], reps=params["reps"],
+        seed=params["seed"], runner=runner, obs=obs,
+    )
+
+
+#: Experiment id -> (title, defaults, runner adapter).  Defaults mirror
+#: the CLIs' ``--quick`` sizes: a service exists to answer many small
+#: requests, and a client wanting paper-size sweeps says so explicitly.
+SERVED_EXPERIMENTS: dict[str, tuple[str, dict[str, Any], Callable]] = {
+    "fig2": (
+        "Figure 2: memory-hierarchy latencies",
+        {"procs": [1, 2, 8, 32], "samples": 400, "seed": 101},
+        _run_fig2,
+    ),
+    "fig3": (
+        "Figure 3: lock performance",
+        {"procs": [2, 8, 32], "ops": 30, "seed": 303},
+        _run_fig3,
+    ),
+    "fig4": (
+        "Figure 4: barriers on the 32-node KSR-1",
+        {"procs": [4, 16, 32], "reps": 6, "seed": 404},
+        _run_fig4,
+    ),
+    "fig5": (
+        "Figure 5: barriers on the 64-node KSR-2",
+        {"procs": [16, 32, 48, 64], "reps": 6, "seed": 404},
+        _run_fig5,
+    ),
+}
+
+_CAMPAIGN_DEFAULTS: dict[str, Any] = {
+    "procs": [8, 16], "rates": [0.0, 1e-4], "ops": 10, "seed": 303,
+}
+
+_POINT_DEFAULTS: dict[str, Any] = {
+    "lock": "rw", "n_procs": 8, "read_fraction": 0.0, "ops": 10,
+    "seed": 303, "fault_rate": 0.0,
+}
+
+
+def describe_catalog() -> dict[str, Any]:
+    """What ``GET /v1/experiments`` reports: kinds, ids, defaults."""
+    return {
+        "experiments": {
+            key: {"title": title, "defaults": defaults}
+            for key, (title, defaults, _) in SERVED_EXPERIMENTS.items()
+        },
+        "campaign": {"defaults": _CAMPAIGN_DEFAULTS},
+        "point": {"defaults": _POINT_DEFAULTS},
+    }
+
+
+def _merge_params(
+    body: dict[str, Any], defaults: dict[str, Any], *, kind: str
+) -> dict[str, Any]:
+    """Defaults overlaid with the request's params; unknown keys are 400s."""
+    given = body.get("params", {})
+    if not isinstance(given, dict):
+        raise ServiceError(f"{kind}: 'params' must be an object")
+    unknown = sorted(set(given) - set(defaults))
+    if unknown:
+        raise ServiceError(
+            f"{kind}: unknown param(s) {', '.join(unknown)} "
+            f"(accepted: {', '.join(sorted(defaults))})"
+        )
+    return {**defaults, **given}
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One validated request: kind + full parameter set + obs flag."""
+
+    kind: str
+    #: Sorted ``(name, value)`` pairs — hashable, canonically ordered.
+    params: tuple[tuple[str, Any], ...]
+    with_obs: bool = False
+
+    @classmethod
+    def from_request(cls, body: dict[str, Any]) -> "JobSpec":
+        """Parse + validate one POST /v1/jobs body."""
+        if not isinstance(body, dict):
+            raise ServiceError("request body must be a JSON object")
+        kind = body.get("kind")
+        with_obs = bool(body.get("obs", False))
+        if kind == "experiment":
+            exp = body.get("experiment")
+            if exp not in SERVED_EXPERIMENTS:
+                raise ServiceError(
+                    f"unknown experiment {exp!r} "
+                    f"(served: {', '.join(SERVED_EXPERIMENTS)})"
+                )
+            _, defaults, _ = SERVED_EXPERIMENTS[exp]
+            params = _merge_params(body, defaults, kind=f"experiment {exp}")
+            params["experiment"] = exp
+        elif kind == "campaign":
+            params = _merge_params(body, _CAMPAIGN_DEFAULTS, kind="campaign")
+        elif kind == "point":
+            params = _merge_params(body, _POINT_DEFAULTS, kind="point")
+            if params["lock"] not in ("rw", "hardware"):
+                raise ServiceError(f"point: unknown lock kind {params['lock']!r}")
+        else:
+            raise ServiceError(
+                f"unknown job kind {kind!r} (served: experiment, campaign, point)"
+            )
+        frozen = tuple(
+            (k, tuple(v) if isinstance(v, list) else v)
+            for k, v in sorted(params.items())
+        )
+        return cls(kind=kind, params=frozen, with_obs=with_obs)
+
+    def param_dict(self) -> dict[str, Any]:
+        """Parameters as a plain dict (lists restored for runners)."""
+        return {
+            k: list(v) if isinstance(v, tuple) else v for k, v in self.params
+        }
+
+    def canonical(self) -> str:
+        """Stable identity used for coalescing identical requests."""
+        return repr((self.kind, self.params, self.with_obs))
+
+    # -- execution ----------------------------------------------------
+
+    def execute(self, runner: SweepRunner) -> dict[str, Any]:
+        """Run this job on ``runner``; return the JSON-safe payload."""
+        obs = ObsSpec() if self.with_obs else None
+        params = self.param_dict()
+        if self.kind == "experiment":
+            exp = params.pop("experiment")
+            _, _, adapter = SERVED_EXPERIMENTS[exp]
+            result: ExperimentResult = adapter(params, runner, obs)
+            return {
+                "experiment": exp,
+                "experiment_id": result.experiment_id,
+                "title": result.title,
+                "headers": result.headers,
+                "rows": result.rows,
+                "notes": result.notes,
+                "series": {name: pts for name, pts in result.series.items()},
+                "rendered": result.render(),
+            }
+        if self.kind == "campaign":
+            from repro.faults.campaign import run_campaign
+
+            campaign = run_campaign(
+                proc_counts=params["procs"], fault_rates=params["rates"],
+                ops=params["ops"], seed=params["seed"], runner=runner, obs=obs,
+            )
+            return {
+                "experiment_id": campaign.result.experiment_id,
+                "title": campaign.result.title,
+                "headers": campaign.result.headers,
+                "rows": campaign.result.rows,
+                "notes": campaign.result.notes,
+                "points": [
+                    {"n_procs": p, "fault_rate": r, **stats}
+                    for (p, r), stats in sorted(campaign.points.items())
+                ],
+                "rendered": campaign.render(),
+            }
+        # point
+        from repro.experiments.degraded import degraded_lock_point
+        from repro.faults.plan import FaultPlan
+
+        call = dict(
+            kind=params["lock"], n_procs=params["n_procs"],
+            read_fraction=params["read_fraction"], ops=params["ops"],
+            seed=params["seed"],
+            plan=FaultPlan(corruption_rate=params["fault_rate"]),
+        )
+        if obs is not None:
+            call["obs"] = obs
+        point = runner.map(degraded_lock_point, [call])[0]
+        return {
+            "seconds": point.seconds,
+            "faults": {name: value for name, value in point.faults},
+        }

@@ -1,0 +1,259 @@
+"""Admission control and job execution for the serving layer.
+
+The scheduler is the seam between the HTTP surface and the compute
+substrate.  Its contract:
+
+* **Bounded queueing** — at most ``queue_cap`` jobs wait; a submission
+  past that is *rejected immediately* with a retry-after hint derived
+  from recent service times, never silently buffered.  Overload shows
+  up at the client as back-pressure, not at the server as unbounded
+  memory.
+* **Admission pricing** — a job estimated above ``max_points`` sweep
+  points is refused outright (HTTP 413 at the API layer): the client
+  must split it, mirroring how the batch layer slices accepted work.
+* **Coalescing** — identical concurrent specs share one execution via
+  :class:`~repro.service.batching.JobTable`.
+* **Pinned execution** — while a job runs, every cache key it touches
+  is pinned (:meth:`ShardedResultCache.pin_session`), so LRU eviction
+  triggered by concurrent stores can never remove an in-flight
+  campaign's own points.
+* **Deterministic payloads** — each job runs on a fresh
+  :class:`~repro.service.backends.BackendSweepRunner` over the shared
+  backend + cache, so responses are byte-identical to the CLI's output
+  for the same parameters, whatever the concurrency.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.summary import capture_summary
+from repro.service.backends import Backend, BackendSweepRunner
+from repro.service.batching import JobTable, estimate_points
+from repro.service.cache2 import ShardedResultCache
+from repro.service.jobs import JobSpec, ServiceError
+
+__all__ = ["Job", "RejectedError", "Scheduler"]
+
+
+class RejectedError(ServiceError):
+    """Queue full: reject-with-retry-after instead of unbounded growth."""
+
+    def __init__(self, message: str, *, retry_after: float):
+        super().__init__(message, status=429)
+        self.retry_after = retry_after
+
+
+@dataclass
+class Job:
+    """One accepted submission and (eventually) its result."""
+
+    job_id: str
+    spec: JobSpec
+    status: str = "queued"  # queued | running | done | failed
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    payload: dict[str, Any] | None = None
+    error: str | None = None
+    cache: dict[str, Any] = field(default_factory=dict)
+    obs: list[dict[str, Any]] = field(default_factory=list)
+    _done: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job settles; True if it did within timeout."""
+        return self._done.wait(timeout)
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-safe snapshot for ``GET /v1/jobs/<id>`` and waits."""
+        doc: dict[str, Any] = {
+            "job_id": self.job_id,
+            "kind": self.spec.kind,
+            "status": self.status,
+        }
+        if self.started_at is not None and self.finished_at is not None:
+            doc["seconds"] = self.finished_at - self.started_at
+        if self.payload is not None:
+            doc["result"] = self.payload
+        if self.error is not None:
+            doc["error"] = self.error
+        if self.cache:
+            doc["cache"] = self.cache
+        if self.obs:
+            doc["obs"] = self.obs
+        return doc
+
+
+class Scheduler:
+    """Bounded-queue, multi-worker job executor over one shared cache."""
+
+    def __init__(
+        self,
+        backend: Backend,
+        cache: ShardedResultCache,
+        *,
+        workers: int = 2,
+        queue_cap: int = 8,
+        max_points: int = 512,
+        max_batch: int = 64,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_cap < 1:
+            raise ValueError(f"queue_cap must be >= 1, got {queue_cap}")
+        self.backend = backend
+        self.cache = cache
+        self.max_points = max_points
+        self.max_batch = max_batch
+        self._queue: queue.Queue[Job | None] = queue.Queue()
+        self._queued = 0  # jobs accepted but not yet finished running
+        self._lock = threading.Lock()
+        self.queue_cap = queue_cap
+        self._jobs: dict[str, Job] = {}
+        self._table = JobTable()
+        self._ids = itertools.count(1)
+        self._recent_seconds: list[float] = []
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self._workers = [
+            threading.Thread(target=self._worker, name=f"ksr-serve-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # -- submission ---------------------------------------------------
+
+    def _retry_after_locked(self) -> float:
+        """Back-off hint: queued work / workers, priced at recent speed.
+
+        Caller must hold ``self._lock``.
+        """
+        recent = self._recent_seconds
+        per_job = (sum(recent) / len(recent)) if recent else 1.0
+        return max(1.0, round(self._queued * per_job / len(self._workers), 1))
+
+    def retry_after(self) -> float:
+        """Public (locking) form of the back-off hint."""
+        with self._lock:
+            return self._retry_after_locked()
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Admit, coalesce or reject one spec; returns its job."""
+        points = estimate_points(spec)
+        if points > self.max_points:
+            raise ServiceError(
+                f"job would fan out {points} sweep points, over this "
+                f"server's per-job bound of {self.max_points}; split the "
+                f"request",
+                status=413,
+            )
+        with self._lock:
+            self.submitted += 1
+            job = Job(
+                job_id=f"job-{next(self._ids)}",
+                spec=spec,
+                submitted_at=time.time(),
+            )
+            existing = self._table.claim(spec.canonical(), job)
+            if existing is not None:
+                return existing  # identical request already in flight
+            if self._queued >= self.queue_cap:
+                self.rejected += 1
+                self._table.release(spec.canonical())
+                raise RejectedError(
+                    f"queue full ({self.queue_cap} jobs); retry later",
+                    retry_after=self._retry_after_locked(),
+                )
+            self._queued += 1
+            self._jobs[job.job_id] = job
+        self._queue.put(job)
+        return job
+
+    def get(self, job_id: str) -> Job | None:
+        """Look up an accepted job by id (None if unknown)."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    # -- execution ----------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            self._run_job(job)
+
+    def _run_job(self, job: Job) -> None:
+        job.status = "running"
+        job.started_at = time.time()
+        runner = BackendSweepRunner(
+            self.backend, cache=self.cache, max_batch=self.max_batch
+        )
+        before = self.cache.stats()
+        try:
+            with self.cache.pin_session():
+                payload = job.spec.execute(runner)
+        except ServiceError as exc:
+            job.status = "failed"
+            job.error = str(exc)
+        except Exception as exc:  # noqa: BLE001 - a job must never kill a worker
+            job.status = "failed"
+            job.error = f"{type(exc).__name__}: {exc}"
+        else:
+            after = self.cache.stats()
+            job.payload = payload
+            job.cache = {
+                "hits": after["hits"] - before["hits"],
+                "misses": after["misses"] - before["misses"],
+                "corrupt": after["corrupt"] - before["corrupt"],
+                "root": after["root"],
+            }
+            job.obs = [capture_summary(c) for c in runner.captures]
+            job.status = "done"
+        finally:
+            job.finished_at = time.time()
+            with self._lock:
+                self._queued -= 1
+                if job.status == "done":
+                    self.completed += 1
+                else:
+                    self.failed += 1
+                self._recent_seconds.append(job.finished_at - job.started_at)
+                del self._recent_seconds[:-20]  # rolling window
+            self._table.release(job.spec.canonical())
+            job._done.set()
+
+    # -- lifecycle / stats --------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-safe counters for ``/v1/stats`` and `ksr-serve` logs."""
+        with self._lock:
+            return {
+                "workers": len(self._workers),
+                "queue_cap": self.queue_cap,
+                "queued": self._queued,
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+                "coalesced": self._table.coalesced,
+                "max_points": self.max_points,
+                "max_batch": self.max_batch,
+                "backend": self.backend.name,
+            }
+
+    def close(self) -> None:
+        """Drain workers and release the backend."""
+        for _ in self._workers:
+            self._queue.put(None)
+        for thread in self._workers:
+            thread.join(timeout=30)
+        self.backend.close()

@@ -14,6 +14,7 @@ from typing import Iterable
 __all__ = [
     "install_sigpipe_handler",
     "build_parser",
+    "format_cache_stats",
     "resolve_selection",
     "write_report",
 ]
@@ -56,6 +57,30 @@ def resolve_selection(
     wanted = known if requested == ["all"] else requested
     unknown = [k for k in wanted if k not in known]
     return wanted, unknown
+
+
+def format_cache_stats(stats: dict) -> str:
+    """One-line human summary of a result cache's ``stats()`` dict.
+
+    Shared by ``ksr-experiments --verbose`` and the ``ksr-serve``
+    status surfaces, so both tools describe the cache identically —
+    including the resolved absolute root, which is how a user discovers
+    they have been warming a cache in the wrong directory.
+    """
+    lookups = stats.get("hits", 0) + stats.get("misses", 0)
+    rate = stats["hits"] / lookups if lookups else 0.0
+    parts = [
+        f"cache at {stats['root']}:",
+        f"{stats.get('hits', 0)} hits / {stats.get('misses', 0)} misses",
+        f"({rate:.0%} hit rate)",
+    ]
+    if stats.get("corrupt"):
+        parts.append(f"[{stats['corrupt']} corrupt entries dropped]")
+    if "evictions" in stats:
+        parts.append(f"{stats['evictions']} evicted")
+    if "bytes" in stats:
+        parts.append(f"{stats['bytes']} bytes resident")
+    return " ".join(parts)
 
 
 def write_report(path: str, title: str, sections: list[str]) -> None:

@@ -1,0 +1,89 @@
+"""Cache keys must be byte-identical across process boundaries.
+
+The result cache is only sound if ``point_key`` computed in a
+``SweepRunner`` worker equals the one computed in the parent — for
+*every* kwarg type the experiment CLIs actually pass.  A type whose
+canonical form smuggles in per-process state (a memory address, hash
+randomisation, set iteration order) would silently split the cache into
+per-process shards that never hit.
+
+Covered here: numbers, strings, bools, None, config dataclasses
+(:class:`MachineConfig`), :class:`FaultPlan` (cache-token values),
+:class:`ObsSpec`, and containers of all of those.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.experiments.sweep import point_key
+from repro.faults import FaultPlan
+from repro.machine.config import MachineConfig
+from repro.obs import ObsSpec
+
+
+def probe(x=0, **kwargs) -> int:
+    """Module-level target so workers can unpickle it by reference."""
+    return 0
+
+
+def key_in_subprocess(kwargs: dict) -> str:
+    """Computed inside a worker: a fresh interpreter, fresh id()s."""
+    return point_key(probe, kwargs)
+
+
+#: One case per kwarg shape the experiment CLIs pass to point functions.
+CASES = {
+    "int": dict(n_procs=32),
+    "large_int": dict(samples=1 << 23),
+    "float": dict(read_fraction=0.4),
+    "tiny_float": dict(rate=1e-5),
+    "str": dict(kind="rw"),
+    "bool": dict(full=True),
+    "none": dict(obs=None),
+    "config_dataclass": dict(config=MachineConfig.ksr1(n_cells=8, seed=303)),
+    "fault_plan": dict(plan=FaultPlan(corruption_rate=1e-4, dead_cells=(3, 5))),
+    "obs_spec": dict(obs=ObsSpec(bucket_cycles=5000.0, max_records=100)),
+    "list_of_ints": dict(procs=[1, 2, 8, 32]),
+    "tuple_of_floats": dict(rates=(0.0, 1e-5, 1e-4)),
+    "dict_of_scalars": dict(opts={"ops": 30, "seed": 303}),
+    "list_of_plans": dict(plans=[FaultPlan(), FaultPlan(corruption_rate=1e-3)]),
+    "dict_of_plans": dict(plans={"clean": FaultPlan(), "faulty": FaultPlan(stall_rate=1e-6)}),
+    "nested_mixed": dict(grid=[{"p": 8, "plan": FaultPlan(dead_cells=(1,))}]),
+    "set_of_ints": dict(cells=frozenset({5, 3, 1})),
+    "everything": dict(
+        kind="rw", n_procs=16, read_fraction=0.0, ops=30, seed=303,
+        plan=FaultPlan(corruption_rate=1e-4), obs=ObsSpec(),
+        procs=[2, 4], extras={"full": False},
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_key_stable_across_process_roundtrip(name):
+    kwargs = CASES[name]
+    parent_key = point_key(probe, kwargs)
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        child_key = pool.submit(key_in_subprocess, kwargs).result()
+    assert child_key == parent_key, (
+        f"{name}: key differs across processes — this kwarg type would "
+        f"produce a cache that never hits under --jobs"
+    )
+
+
+def test_all_cases_produce_distinct_keys():
+    """The canonicaliser must separate, not conflate, distinct points."""
+    keys = {name: point_key(probe, kwargs) for name, kwargs in CASES.items()}
+    assert len(set(keys.values())) == len(keys)
+
+
+def test_key_stable_across_repeated_interpreters():
+    """Two *separate* pools: guards against pool-level warm state."""
+    kwargs = CASES["everything"]
+    seen = set()
+    for _ in range(2):
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            seen.add(pool.submit(key_in_subprocess, kwargs).result())
+    assert len(seen) == 1

@@ -71,6 +71,55 @@ class TestPointKey:
         after = point_key(square, dict(plan=FaultPlan()))
         assert before != after
 
+    def test_cache_token_honoured_inside_containers(self, monkeypatch):
+        # Regression: a FaultPlan nested in a list/tuple/dict used to
+        # fall back to container repr, so INJECTOR_VERSION bumps did
+        # not invalidate those cached points.
+        from repro.faults import FaultPlan
+        import repro.faults.plan as plan_module
+
+        nests = {
+            "list": lambda: dict(plans=[FaultPlan()]),
+            "tuple": lambda: dict(plans=(FaultPlan(),)),
+            "dict": lambda: dict(plans={"a": FaultPlan()}),
+            "deep": lambda: dict(plans=[{"a": (FaultPlan(),)}]),
+        }
+        before = {name: point_key(square, make()) for name, make in nests.items()}
+        monkeypatch.setattr(plan_module, "INJECTOR_VERSION", 2)
+        for name, make in nests.items():
+            assert point_key(square, make()) != before[name], name
+
+    def test_container_rate_change_distinct_keys(self):
+        from repro.faults import FaultPlan
+
+        a = point_key(square, dict(plans=[FaultPlan(corruption_rate=1e-4)]))
+        b = point_key(square, dict(plans=[FaultPlan(corruption_rate=1e-3)]))
+        assert a != b
+
+    def test_dict_kwarg_insensitive_to_insertion_order(self):
+        a = point_key(square, dict(opts={"x": 1, "y": 2}))
+        b = point_key(square, dict(opts={"y": 2, "x": 1}))
+        assert a == b
+
+    def test_address_bearing_repr_rejected(self):
+        class Opaque:  # default object repr: <... object at 0x...>
+            pass
+
+        with pytest.raises(TypeError, match="kwarg 'widget'"):
+            point_key(square, dict(widget=Opaque()))
+
+    def test_address_bearing_repr_rejected_inside_container(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError, match="kwarg 'widgets'"):
+            point_key(square, dict(widgets=[Opaque()]))
+
+    def test_function_valued_kwarg_rejected(self):
+        # functions repr as <function f at 0x...>: per-process keys
+        with pytest.raises(TypeError, match="memory address"):
+            point_key(square, dict(callback=square))
+
 
 class TestResultCache:
     def test_roundtrip(self, tmp_path):
@@ -92,6 +141,26 @@ class TestResultCache:
         hit, value = cache.load(key)
         assert not hit and value is None
 
+    def test_corrupt_entry_counted_and_unlinked(self, tmp_path):
+        # Regression: corruption used to be an unsignalled plain miss,
+        # and the poisoned file stayed put, masking the next store.
+        cache = ResultCache(tmp_path / "cache")
+        key = point_key(square, dict(x=41))
+        cache.store(key, 1681)
+        cache._path(key).write_bytes(b"scrambled")
+        hit, _ = cache.load(key)
+        assert not hit
+        assert cache.corrupt == 1 and cache.misses == 1
+        assert not cache._path(key).exists(), "poisoned entry must be deleted"
+        cache.store(key, 1681)
+        hit, value = cache.load(key)
+        assert hit and value == 1681
+
+    def test_plain_miss_is_not_corrupt(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        hit, _ = cache.load(point_key(square, dict(x=6)))
+        assert not hit and cache.corrupt == 0 and cache.misses == 1
+
     def test_entry_missing_value_field_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path / "cache")
         key = point_key(square, dict(x=5))
@@ -104,6 +173,28 @@ class TestResultCache:
     def test_default_respects_env_override(self, tmp_path, monkeypatch):
         monkeypatch.setenv("KSR_CACHE_DIR", str(tmp_path / "elsewhere"))
         assert ResultCache.default().root == tmp_path / "elsewhere"
+
+    def test_root_resolved_absolute_at_construction(self, tmp_path, monkeypatch):
+        # Regression: a relative root used to be re-resolved against
+        # whatever the *current* working directory was at access time,
+        # so the same campaign run from two directories got two cold
+        # caches.
+        monkeypatch.chdir(tmp_path)
+        cache = ResultCache(".ksr-cache")
+        assert cache.root.is_absolute()
+        key = point_key(square, dict(x=9))
+        cache.store(key, 81)
+        elsewhere = tmp_path / "subdir"
+        elsewhere.mkdir()
+        monkeypatch.chdir(elsewhere)
+        hit, value = cache.load(key)
+        assert hit and value == 81, "chdir must not cold-start the cache"
+
+    def test_stats_reports_resolved_root(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        stats = cache.stats()
+        assert stats["root"] == str(tmp_path / "cache")
+        assert set(stats) >= {"root", "hits", "misses", "corrupt"}
 
 
 class TestSweepRunner:

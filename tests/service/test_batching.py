@@ -1,0 +1,91 @@
+"""Batching policy: slicing, admission pricing, coalescing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.batching import JobTable, estimate_points, split_batches
+from repro.service.jobs import JobSpec
+
+
+def spec(body: dict) -> JobSpec:
+    return JobSpec.from_request(body)
+
+
+class TestSplitBatches:
+    def test_splits_in_order(self):
+        batches = list(split_batches(list(range(7)), 3))
+        assert batches == [[0, 1, 2], [3, 4, 5], [6]]
+
+    def test_exact_multiple(self):
+        assert list(split_batches([1, 2, 3, 4], 2)) == [[1, 2], [3, 4]]
+
+    def test_empty(self):
+        assert list(split_batches([], 4)) == []
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            list(split_batches([1], 0))
+
+
+class TestEstimatePoints:
+    def test_point_is_one(self):
+        assert estimate_points(spec({"kind": "point"})) == 1
+
+    def test_campaign_is_grid_size(self):
+        s = spec({"kind": "campaign",
+                  "params": {"procs": [2, 4, 8], "rates": [0.0, 1e-4]}})
+        assert estimate_points(s) == 6
+
+    def test_experiment_scales_with_procs(self):
+        small = spec({"kind": "experiment", "experiment": "fig3",
+                      "params": {"procs": [2]}})
+        big = spec({"kind": "experiment", "experiment": "fig3",
+                    "params": {"procs": [2, 4, 8]}})
+        assert estimate_points(big) == 3 * estimate_points(small)
+
+
+class TestJobTable:
+    def test_claim_then_coalesce(self):
+        table = JobTable()
+        assert table.claim("k", "job-a") is None
+        assert table.claim("k", "job-b") == "job-a"
+        assert table.coalesced == 1
+        assert table.inflight_count() == 1
+
+    def test_release_allows_fresh_claim(self):
+        table = JobTable()
+        table.claim("k", "job-a")
+        table.release("k")
+        assert table.claim("k", "job-b") is None
+
+    def test_distinct_specs_independent(self):
+        table = JobTable()
+        assert table.claim("k1", "a") is None
+        assert table.claim("k2", "b") is None
+        assert table.inflight_count() == 2
+
+
+class TestJobSpecCanonical:
+    def test_identical_requests_identical_canonical(self):
+        a = spec({"kind": "experiment", "experiment": "fig3",
+                  "params": {"ops": 5, "procs": [2, 8]}})
+        b = spec({"kind": "experiment", "experiment": "fig3",
+                  "params": {"procs": [2, 8], "ops": 5}})
+        assert a.canonical() == b.canonical()
+
+    def test_defaults_make_sparse_and_full_requests_equal(self):
+        sparse = spec({"kind": "point"})
+        full = spec({"kind": "point",
+                     "params": {"lock": "rw", "n_procs": 8, "read_fraction": 0.0,
+                                "ops": 10, "seed": 303, "fault_rate": 0.0}})
+        assert sparse.canonical() == full.canonical()
+
+    def test_obs_flag_changes_identity(self):
+        assert spec({"kind": "point"}).canonical() != \
+            spec({"kind": "point", "obs": True}).canonical()
+
+    def test_param_change_changes_identity(self):
+        a = spec({"kind": "point", "params": {"ops": 10}})
+        b = spec({"kind": "point", "params": {"ops": 11}})
+        assert a.canonical() != b.canonical()

@@ -1,0 +1,214 @@
+"""Sharded cache v2: layout, manifest, LRU eviction, pinning, corruption."""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+
+import pytest
+
+from repro.service.cache2 import CACHE_FORMAT_VERSION, ShardedResultCache
+
+
+def make_key(i: int) -> str:
+    """Distinct 64-hex keys spread across shards."""
+    import hashlib
+
+    return hashlib.sha256(str(i).encode()).hexdigest()
+
+
+class TestLayout:
+    def test_two_level_fanout_path(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "c")
+        key = make_key(1)
+        cache.store(key, "v")
+        path = tmp_path / "c" / "objects" / key[:2] / key[2:4] / f"{key}.pkl"
+        assert path.exists()
+
+    def test_root_is_absolute(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        cache = ShardedResultCache(".c2")
+        assert cache.root.is_absolute()
+        assert cache.root == tmp_path / ".c2"
+
+    def test_format_marker_written_and_checked(self, tmp_path):
+        ShardedResultCache(tmp_path / "c")
+        marker = tmp_path / "c" / "CACHE_FORMAT"
+        assert marker.read_text().strip() == str(CACHE_FORMAT_VERSION)
+        marker.write_text("999\n")
+        with pytest.raises(ValueError, match="format"):
+            ShardedResultCache(tmp_path / "c")
+
+    def test_rejects_nonpositive_cap(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardedResultCache(tmp_path / "c", cap_bytes=0)
+
+
+class TestLoadStore:
+    def test_roundtrip_counts(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "c")
+        key = make_key(2)
+        hit, _ = cache.load(key)
+        assert not hit and cache.misses == 1
+        cache.store(key, {"answer": 42})
+        hit, value = cache.load(key)
+        assert hit and value == {"answer": 42}
+        assert cache.hits == 1
+
+    def test_corrupt_entry_counted_and_deleted(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "c")
+        key = make_key(3)
+        cache.store(key, "good")
+        path = cache._path(key)
+        path.write_bytes(b"garbage")
+        hit, _ = cache.load(key)
+        assert not hit
+        assert cache.corrupt == 1 and cache.misses == 1
+        # the poisoned file is gone, so a rewrite is visible again
+        assert not path.exists()
+        cache.store(key, "fresh")
+        hit, value = cache.load(key)
+        assert hit and value == "fresh"
+
+    def test_entry_missing_value_field_is_corrupt(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "c")
+        key = make_key(4)
+        path = cache._path(key)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps({"wrong": "shape"}))
+        hit, _ = cache.load(key)
+        assert not hit and cache.corrupt == 1
+
+    def test_sweeprunner_accepts_cache2(self, tmp_path):
+        from repro.experiments.sweep import SweepRunner
+
+        from tests.experiments.test_sweep import square
+
+        cache = ShardedResultCache(tmp_path / "c")
+        runner = SweepRunner(cache=cache)
+        calls = [dict(x=i) for i in range(4)]
+        first = runner.map(square, calls)
+        second = runner.map(square, calls)
+        assert first == second == [0, 1, 4, 9]
+        assert cache.hits == 4 and cache.misses == 4
+
+
+class TestEviction:
+    def _fill(self, cache, n, size=1000, start=0):
+        keys = []
+        for i in range(start, start + n):
+            key = make_key(i)
+            cache.store(key, os.urandom(size))
+            keys.append(key)
+        return keys
+
+    def test_size_cap_enforced_lru(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "c", cap_bytes=6000)
+        keys = self._fill(cache, 10)  # ~10x1KB > 6KB cap
+        assert cache.resident_bytes() <= 6000
+        assert cache.evictions > 0
+        # newest entries survive, oldest were dropped
+        assert cache.load(keys[-1])[0]
+        assert not cache.load(keys[0])[0]
+
+    def test_hit_refreshes_lru_position(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "c")  # fill uncapped first
+        keys = self._fill(cache, 6)
+        # make key 0 the most recently used despite oldest store
+        now = 2_000_000_000
+        for i, key in enumerate(keys):
+            os.utime(cache._path(key), (now + i, now + i))
+        os.utime(cache._path(keys[0]), (now + 100, now + 100))
+        cache.cap_bytes = 3500
+        cache.evict_to_cap()
+        assert cache.load(keys[0])[0], "recently used entry must survive"
+        assert not cache.load(keys[1])[0], "LRU entry must be evicted"
+
+    def test_pinned_entries_survive_eviction(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "c", cap_bytes=5000)
+        with cache.pin_session():
+            campaign_keys = self._fill(cache, 3)  # this job's in-flight points
+            # a concurrent job (other thread, no pins) blows the cap
+            other = threading.Thread(target=self._fill, args=(cache, 8, 1000, 100))
+            other.start()
+            other.join()
+            assert cache.evictions > 0, "cap was never enforced"
+            for key in campaign_keys:
+                assert cache.load(key)[0], "pinned in-flight entry evicted"
+
+    def test_pins_released_after_session(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "c", cap_bytes=2000)
+        with cache.pin_session():
+            keys = self._fill(cache, 4)
+        # after the session the same keys are ordinary LRU citizens
+        self._fill(cache, 4, start=50)
+        assert not all(cache.load(k)[0] for k in keys)
+
+    def test_uncapped_never_evicts(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "c")
+        self._fill(cache, 10)
+        assert cache.evict_to_cap() == 0
+        assert cache.evictions == 0
+
+
+class TestManifest:
+    def test_manifest_tracks_stores(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "c")
+        key = make_key(7)
+        cache.store(key, "v", meta={"func": "tests.square"})
+        manifest = cache.manifest()
+        assert key in manifest
+        assert manifest[key]["func"] == "tests.square"
+        assert manifest[key]["size"] > 0
+
+    def test_manifest_drops_evicted(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "c", cap_bytes=2500)
+        for i in range(6):
+            cache.store(make_key(i), os.urandom(1000))
+        manifest = cache.manifest()
+        assert len(manifest) == cache.entry_count()
+        for key in manifest:
+            assert cache._path(key).exists()
+
+    def test_compact_manifest_round_trips(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "c")
+        for i in range(5):
+            cache.store(make_key(i), i)
+        before = cache.manifest()
+        cache.compact_manifest()
+        assert cache.manifest() == before
+        # exactly one line per live entry after compaction
+        lines = (tmp_path / "c" / "manifest.jsonl").read_text().splitlines()
+        assert len(lines) == 5
+
+
+class TestConcurrency:
+    def test_parallel_stores_and_loads(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "c")
+        errors = []
+
+        def work(base):
+            try:
+                for i in range(30):
+                    key = make_key(base * 1000 + i)
+                    cache.store(key, (base, i))
+                    hit, value = cache.load(key)
+                    assert hit and value == (base, i)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert cache.hits == 120
+
+    def test_stats_shape(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "c", cap_bytes=1 << 20)
+        stats = cache.stats()
+        for field in ("root", "hits", "misses", "corrupt", "evictions",
+                      "bytes", "entries", "cap_bytes", "format"):
+            assert field in stats
