@@ -5,16 +5,28 @@ Runs the static-analysis and verification passes over the simulator.
 Examples::
 
     ksr-analyze --list
-    ksr-analyze                    # all passes
+    ksr-analyze                          # all passes, text report
     ksr-analyze modelcheck --cells 2 3 4
-    ksr-analyze races lint --output analysis.md
+    ksr-analyze flow --strict            # whole-program dataflow, CI mode
+    ksr-analyze flow lint --format sarif --output report.sarif
+    ksr-analyze flow --write-baseline    # accept current findings
 
-Exit status is 0 when every selected pass is clean, 1 otherwise.
+Every pass reports through the same :class:`Finding` pipeline, so any
+selection of passes renders as ``text``, ``json`` or ``sarif`` and
+filters through the shared baseline file
+(:mod:`repro.analysis.flow.baseline`).
+
+Exit status: 0 when every selected pass is clean, 1 when findings
+remain (or, under ``--strict``, when baseline entries went stale),
+2 on usage errors.
 """
 
 from __future__ import annotations
 
 import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional
 
 from repro.errors import ReproError
 from repro.util.cli import (
@@ -28,7 +40,17 @@ from repro.util.cli import (
 __all__ = ["main", "PASSES"]
 
 
-def _run_modelcheck(args) -> tuple[bool, str]:
+@dataclass
+class PassResult:
+    """Uniform outcome of one analysis pass."""
+
+    ok: bool
+    text: str
+    findings: list = field(default_factory=list)
+    stats: dict[str, Any] = field(default_factory=dict)
+
+
+def _run_modelcheck(args) -> PassResult:
     from repro.analysis.modelcheck import check_protocol
 
     lines = []
@@ -37,10 +59,10 @@ def _run_modelcheck(args) -> tuple[bool, str]:
         result = check_protocol(n_cells)
         ok = ok and result.ok
         lines.append(result.summary())
-    return ok, "\n".join(lines)
+    return PassResult(ok, "\n".join(lines), stats={"cells": list(args.cells)})
 
 
-def _run_races(args) -> tuple[bool, str]:
+def _run_races(args) -> PassResult:
     from repro.analysis.races import (
         default_audit_workload,
         perturbed_contended_workload,
@@ -76,26 +98,94 @@ def _run_races(args) -> tuple[bool, str]:
         f"state {'deterministic' if contended.state_deterministic else 'tie-order sensitive (expected)'}"
     )
     ok = ok and contended.data_deterministic
-    return ok, "\n".join(lines)
+    return PassResult(ok, "\n".join(lines), stats={"runs": args.runs})
 
 
-def _run_lint(args) -> tuple[bool, str]:
-    from repro.analysis.lint import lint_paths, render_report
+def _lint_findings() -> list:
+    """Run the per-file lint, lifted into Finding records (for the
+    shared renderer and baseline)."""
+    from repro.analysis.flow.findings import Finding
+    from repro.analysis.lint import lint_paths, repro_root
 
-    violations = lint_paths()
+    root = repro_root()
+    sources: dict[str, list[str]] = {}
+    findings = []
+    for v in lint_paths():
+        if v.path not in sources:
+            try:
+                sources[v.path] = (root / v.path).read_text(encoding="utf-8").splitlines()
+            except OSError:
+                sources[v.path] = []
+        lines = sources[v.path]
+        snippet = lines[v.line - 1].strip() if 0 < v.line <= len(lines) else ""
+        findings.append(
+            Finding(
+                rule=v.code,
+                path=v.path,
+                line=v.line,
+                col=v.col,
+                message=v.message,
+                snippet=snippet,
+            )
+        )
+    return findings
+
+
+def _run_lint(args) -> PassResult:
+    findings = _lint_findings()
     header = (
-        f"lint[src/repro]: {'OK' if not violations else 'FAIL'} — "
-        f"{len(violations)} violation(s)"
+        f"lint[src/repro]: {'OK' if not findings else 'FAIL'} — "
+        f"{len(findings)} violation(s)"
     )
-    body = render_report(violations)
-    return not violations, header + ("\n" + body if body else "")
+    return PassResult(not findings, header, findings=findings)
+
+
+def _run_flow(args) -> PassResult:
+    from repro.analysis.flow import run_flow
+
+    report = run_flow()
+    det = report.passes.get("determinism", {}).get("stats", {})
+    pur = report.passes.get("purity", {}).get("stats", {})
+    conf = report.passes.get("conformance", {})
+    conf_stats = conf.get("stats", {})
+    bits = [
+        f"determinism {det.get('functions_analyzed', 0)} fns",
+        f"purity {pur.get('call_sites', 0)} sites",
+    ]
+    if conf.get("ok"):
+        bits.append(
+            f"conformance {conf_stats.get('valuations_agreeing', 0)}/"
+            f"{conf_stats.get('valuations_checked', 0)} valuations"
+        )
+    elif "error" in conf:
+        bits.append(f"conformance EXTRACTION FAILED: {conf['error']}")
+    header = (
+        f"flow[src/repro]: {'OK' if report.ok else 'FAIL'} — "
+        f"{len(report.findings)} finding(s) ({', '.join(bits)})"
+    )
+    return PassResult(report.ok, header, findings=report.findings, stats=report.passes)
 
 
 PASSES = {
     "modelcheck": ("Exhaustive ALLCACHE protocol state-space check", _run_modelcheck),
     "races": ("DES same-instant conflict audit + tie-break perturbation", _run_races),
-    "lint": ("AST lint for sim-code hazards", _run_lint),
+    "lint": ("AST lint for sim-code hazards (KSR100–103)", _run_lint),
+    "flow": (
+        "Whole-program dataflow: determinism, cache-key purity, protocol "
+        "conformance (KSR110–113)",
+        _run_flow,
+    ),
 }
+
+_RUNNERS: dict[str, Callable[[Any], PassResult]] = {k: v[1] for k, v in PASSES.items()}
+
+
+def _repo_baseline() -> Optional[Path]:
+    """The checked-in baseline next to the working tree, if present."""
+    from repro.analysis.flow.baseline import DEFAULT_BASELINE
+
+    candidate = Path.cwd() / DEFAULT_BASELINE
+    return candidate if candidate.exists() else None
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -104,7 +194,7 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser(
         "ksr-analyze",
         "Verify the KSR-1 simulator: protocol model checking, "
-        "determinism auditing, and sim-code lint.",
+        "determinism auditing, per-file lint and whole-program dataflow.",
         positional="passes",
         positional_help="pass ids (see --list), or 'all' (default: all)",
     )
@@ -123,6 +213,29 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="shuffled tie-break runs for the perturbation check (default: 4)",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format for findings-producing passes (default: text)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on warnings and on stale baseline entries (CI mode)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="suppress findings recorded in FILE "
+        "(default: .ksr-analyze-baseline.json when present)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings as the new baseline and exit",
+    )
     args = parser.parse_args(argv)
     if args.list:
         for key, (title, _) in PASSES.items():
@@ -131,22 +244,83 @@ def main(argv: list[str] | None = None) -> int:
     wanted, unknown = resolve_selection(args.passes or ["all"], PASSES)
     if unknown:
         return print_unknown(unknown, "pass")
+
+    from repro.analysis.flow.baseline import Baseline, BaselineError
+    from repro.analysis.flow.findings import (
+        findings_to_json,
+        findings_to_sarif,
+        findings_to_text,
+    )
+
+    baseline_path = Path(args.baseline) if args.baseline else _repo_baseline()
+    try:
+        baseline = Baseline.load(baseline_path) if baseline_path else Baseline()
+    except BaselineError as exc:
+        print(f"ksr-analyze: {exc}", file=sys.stderr)
+        return 2
+
     all_ok = True
     sections = []
+    findings = []
+    pass_stats: dict[str, dict[str, Any]] = {}
     for key in wanted:
-        _, runner = PASSES[key]
+        runner = _RUNNERS[key]
         try:
-            ok, rendered = runner(args)
+            result = runner(args)
         except ReproError as exc:
             print(f"ksr-analyze: {key}: {exc}", file=sys.stderr)
             return 2
-        all_ok = all_ok and ok
+        findings.extend(result.findings)
+        pass_stats[key] = {"ok": result.ok, **({"stats": result.stats} if result.stats else {})}
+        all_ok = all_ok and result.ok
+        if args.format == "text":
+            print(result.text)
+            print()
+        sections.append(f"## {key}\n\n```\n{result.text}\n```\n")
+
+    if args.write_baseline:
+        target = baseline_path or Path.cwd() / ".ksr-analyze-baseline.json"
+        n = Baseline.write(target, findings)
+        print(f"ksr-analyze: wrote {n} baseline entr{'y' if n == 1 else 'ies'} to {target}")
+        return 0
+
+    kept, suppressed = baseline.apply(findings)
+    stale = baseline.stale()
+    has_errors = any(f.severity == "error" for f in kept)
+    has_warnings = any(f.severity != "error" for f in kept)
+    failed = (
+        not all_ok
+        or has_errors
+        or (args.strict and (has_warnings or bool(stale)))
+    )
+
+    if args.format == "json":
+        rendered = findings_to_json(
+            kept, passes=pass_stats, suppressed=suppressed, stale_baseline=stale
+        )
         print(rendered)
-        print()
-        sections.append(f"## {key}\n\n```\n{rendered}\n```\n")
+    elif args.format == "sarif":
+        rendered = findings_to_sarif(kept)
+        print(rendered)
+    else:
+        rendered = None
+        if kept:
+            print(findings_to_text(kept))
+        if suppressed:
+            print(f"ksr-analyze: {suppressed} finding(s) suppressed by baseline")
+        for entry in stale:
+            print(
+                f"ksr-analyze: stale baseline entry {entry['rule']} "
+                f"{entry['path']} {entry['span']} (no longer matches)"
+                + (" — failing under --strict" if args.strict else "")
+            )
+
     if args.output:
-        write_report(args.output, "ksr-analyze report", sections)
-    return 0 if all_ok else 1
+        if rendered is not None:
+            Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+        else:
+            write_report(args.output, "ksr-analyze report", sections)
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

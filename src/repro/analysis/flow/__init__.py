@@ -1,0 +1,61 @@
+"""Whole-program static analysis for the simulator (``ksr-analyze flow``).
+
+The per-file AST lint (:mod:`repro.analysis.lint`, KSR100–103) catches
+direct spellings of simulator hazards; this package supersedes it with
+call-graph-aware dataflow over all of ``src/repro``.  Three pillars:
+
+* **Determinism dataflow** (KSR110, KSR111) — track nondeterminism
+  sources (set iteration order, unsorted directory listings, wall
+  clock, unregistered RNGs, ``id()``) through assignments and calls
+  until they reach a determinism sink (engine scheduling, cache keys,
+  observability capture), and close the KSR101 aliasing evasion with
+  real alias tracking.
+* **Cache-key purity** (KSR112) — statically verify that every kwarg
+  type handed to :func:`repro.experiments.sweep.point_key` defines a
+  stable ``repr`` or a ``cache_token``, turning the runtime
+  ``TypeError`` into an analysis-time finding.
+* **Protocol conformance** (KSR113) — extract the guarded transition
+  relation of :mod:`repro.coherence.protocol` by symbolic evaluation
+  of its branch conditions, extract the abstract relation from
+  :mod:`repro.analysis.modelcheck` with the same machinery, and fail
+  on any transition one side has and the other lacks or forbids.
+
+Findings are uniform :class:`~repro.analysis.flow.findings.Finding`
+records rendered as text, JSON or SARIF, with a baseline-file
+suppression mechanism keyed by AST-span hashes (line-drift proof).
+"""
+
+from repro.analysis.flow.baseline import Baseline
+from repro.analysis.flow.conformance import (
+    Transition,
+    conformance_findings,
+    extract_code_relation,
+    extract_model_relation,
+)
+from repro.analysis.flow.determinism import determinism_findings
+from repro.analysis.flow.findings import (
+    Finding,
+    findings_to_json,
+    findings_to_sarif,
+    findings_to_text,
+    span_hash,
+)
+from repro.analysis.flow.purity import purity_findings
+from repro.analysis.flow.runner import FlowReport, run_flow
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "FlowReport",
+    "Transition",
+    "conformance_findings",
+    "determinism_findings",
+    "extract_code_relation",
+    "extract_model_relation",
+    "findings_to_json",
+    "findings_to_sarif",
+    "findings_to_text",
+    "purity_findings",
+    "run_flow",
+    "span_hash",
+]

@@ -1,0 +1,117 @@
+"""Baseline suppression for accepted findings.
+
+A baseline file records findings the team has reviewed and accepted
+(or scheduled for later).  ``ksr-analyze ... --baseline FILE`` drops
+matching findings from the report; ``--write-baseline`` records the
+current finding set.  Entries are keyed by ``(rule, path, span_hash)``
+— the span hash digests the flagged source text, not its line number,
+so unrelated edits above a finding do not churn the baseline (see
+:func:`repro.analysis.flow.findings.span_hash`).
+
+Lifecycle:
+
+* **add** — ``--write-baseline`` serializes every current finding.
+* **suppress** — a finding whose key matches an entry is dropped; the
+  entry is marked used.
+* **expire** — entries matching no current finding are *stale*: the
+  flagged code was fixed or deleted.  Stale entries are reported (and
+  fail ``--strict``) so the file shrinks instead of fossilizing;
+  ``--write-baseline`` prunes them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.flow.findings import Finding
+from repro.errors import ReproError
+
+__all__ = ["Baseline", "BaselineError", "DEFAULT_BASELINE"]
+
+#: Conventional baseline filename at the repository root.
+DEFAULT_BASELINE = ".ksr-analyze-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+class BaselineError(ReproError):
+    """The baseline file is unreadable or structurally invalid."""
+
+
+@dataclass
+class Baseline:
+    """An in-memory baseline: accepted finding keys plus bookkeeping."""
+
+    #: (rule, path, span_hash) -> optional reviewer note.
+    entries: dict[tuple[str, str, str], str] = field(default_factory=dict)
+    #: Keys that suppressed at least one finding this run.
+    used: set[tuple[str, str, str]] = field(default_factory=set)
+
+    # -- persistence ---------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file (a missing file is an empty baseline)."""
+        p = Path(path)
+        if not p.exists():
+            return cls()
+        try:
+            doc = json.loads(p.read_text(encoding="utf-8"))
+            entries = {
+                (e["rule"], e["path"], e["span"]): e.get("note", "")
+                for e in doc["entries"]
+            }
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise BaselineError(f"unreadable baseline {p}: {exc}") from exc
+        return cls(entries=entries)
+
+    @staticmethod
+    def write(path: str | Path, findings: Iterable[Finding]) -> int:
+        """Serialize ``findings`` as the new baseline; returns the count.
+
+        Entries are sorted by (path, rule, span) so the file diffs
+        cleanly; writing prunes anything stale by construction.
+        """
+        entries = sorted(
+            {
+                (f.rule, f.path, f.span): f.message
+                for f in findings
+            }.items()
+        )
+        doc = {
+            "version": _FORMAT_VERSION,
+            "entries": [
+                {"rule": rule, "path": fpath, "span": span, "note": note}
+                for (rule, fpath, span), note in sorted(
+                    entries, key=lambda kv: (kv[0][1], kv[0][0], kv[0][2])
+                )
+            ],
+        }
+        Path(path).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+        return len(doc["entries"])
+
+    # -- application ---------------------------------------------------
+
+    def apply(self, findings: Iterable[Finding]) -> tuple[list[Finding], int]:
+        """Split findings into (kept, n_suppressed), marking used keys."""
+        kept: list[Finding] = []
+        suppressed = 0
+        for f in findings:
+            key = f.key()
+            if key in self.entries:
+                self.used.add(key)
+                suppressed += 1
+            else:
+                kept.append(f)
+        return kept, suppressed
+
+    def stale(self) -> list[dict[str, str]]:
+        """Entries that suppressed nothing (candidates for expiry)."""
+        return [
+            {"rule": rule, "path": path, "span": span, "note": note}
+            for (rule, path, span), note in sorted(self.entries.items())
+            if (rule, path, span) not in self.used
+        ]

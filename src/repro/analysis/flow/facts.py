@@ -1,0 +1,246 @@
+"""A tiny propositional engine for guard extraction.
+
+The conformance extractor (:mod:`repro.analysis.flow.conformance`)
+evaluates branch conditions symbolically over a handful of directory
+facts per subpage entry (``atomic``, ``owner is the actor``, ``owner
+exists``, ``has_valid_copy``, ``created``, ``placeholders nonempty``).
+Path conditions are conjunctions of *clauses* (disjunctions of
+literals), exactly what falls out of negating compound guards:
+falling through ``if entry.atomic and entry.owner != cell_id`` leaves
+``¬atomic ∨ owner_is_actor`` on the path.
+
+The state space is deliberately minuscule — a guard mentions at most a
+dozen atoms — so satisfiability and determinedness are decided
+exactly: unit propagation first, then exhaustive enumeration of the
+residual clauses.  A literal is *determined* iff it has the same value
+in every model of (path clauses ∧ domain clauses); no heuristics, no
+approximation.
+
+Atoms are arbitrary hashable tokens; the domain implications of the
+coherence directory (``atomic ⇒ owner_exists ⇒ has_valid ⇒ created``)
+are supplied by the caller as ordinary clauses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from itertools import product
+from typing import FrozenSet, Hashable, Iterable, Optional
+
+__all__ = ["Lit", "Clause", "Formula", "Env", "lit", "AND", "OR", "NOT", "TRUE", "FALSE"]
+
+Atom = Hashable
+#: A literal: (atom, polarity).
+Lit = tuple[Atom, bool]
+Clause = FrozenSet[Lit]
+
+#: Hard cap on residual atoms enumerated; guards here never approach it.
+_MAX_ATOMS = 16
+
+
+# ----------------------------------------------------------------------
+# Formulas (NNF-convertible trees used only transiently by `assume`)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Formula:
+    """A boolean combination of literals: ``kind`` ∈ lit|and|or|true|false."""
+
+    kind: str
+    atom: Optional[Atom] = None
+    value: bool = True
+    parts: tuple["Formula", ...] = ()
+
+
+TRUE = Formula("true")
+FALSE = Formula("false")
+
+
+def lit(atom: Atom, value: bool = True) -> Formula:
+    """A single literal: ``atom`` holds (or not, with ``value=False``)."""
+    return Formula("lit", atom=atom, value=value)
+
+
+def AND(*parts: Formula) -> Formula:
+    """Conjunction, constant-folded."""
+    flat = [p for p in parts if p.kind != "true"]
+    if any(p.kind == "false" for p in flat):
+        return FALSE
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return Formula("and", parts=tuple(flat))
+
+
+def OR(*parts: Formula) -> Formula:
+    """Disjunction, constant-folded."""
+    flat = [p for p in parts if p.kind != "false"]
+    if any(p.kind == "true" for p in flat):
+        return TRUE
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Formula("or", parts=tuple(flat))
+
+
+def NOT(f: Formula) -> Formula:
+    """Negation, pushed to the literals (De Morgan)."""
+    if f.kind == "true":
+        return FALSE
+    if f.kind == "false":
+        return TRUE
+    if f.kind == "lit":
+        return Formula("lit", atom=f.atom, value=not f.value)
+    if f.kind == "and":
+        return OR(*(NOT(p) for p in f.parts))
+    return AND(*(NOT(p) for p in f.parts))
+
+
+def _to_cnf(f: Formula) -> list[Clause]:
+    """Clauses of ``f`` (exponential in principle, tiny in practice)."""
+    if f.kind == "true":
+        return []
+    if f.kind == "false":
+        return [frozenset()]
+    if f.kind == "lit":
+        return [frozenset({(f.atom, f.value)})]
+    if f.kind == "and":
+        out: list[Clause] = []
+        for p in f.parts:
+            out.extend(_to_cnf(p))
+        return out
+    # or: distribute over the parts' CNFs
+    parts_cnf = [_to_cnf(p) for p in f.parts]
+    out = [frozenset()]
+    for cnf in parts_cnf:
+        out = [a | b for a in out for b in cnf]
+        if len(out) > 64:  # guards never get here; fail safe, not slow
+            raise ValueError("guard formula too large for CNF conversion")
+    return out
+
+
+# ----------------------------------------------------------------------
+# Solving (unit propagation + exhaustive residual enumeration, cached)
+# ----------------------------------------------------------------------
+
+
+@lru_cache(maxsize=4096)
+def _propagate(
+    clauses: frozenset[Clause],
+) -> Optional[tuple[tuple[Lit, ...], frozenset[Clause]]]:
+    """Unit-propagate; ``None`` on contradiction.
+
+    Returns (forced literals, residual non-unit clauses).
+    """
+    forced: dict[Atom, bool] = {}
+    work = set(clauses)
+    changed = True
+    while changed:
+        changed = False
+        residual: set[Clause] = set()
+        for c in work:
+            lits: list[Lit] = []
+            satisfied = False
+            for a, v in c:
+                if a in forced:
+                    if forced[a] == v:
+                        satisfied = True
+                        break
+                    continue  # literal is false under forced: drop it
+                lits.append((a, v))
+            if satisfied:
+                continue
+            if not lits:
+                return None  # empty clause: contradiction
+            if len(lits) == 1:
+                a, v = lits[0]
+                forced[a] = v
+                changed = True
+                continue
+            residual.add(frozenset(lits))
+        work = residual
+    return tuple(sorted(forced.items(), key=lambda kv: repr(kv[0]))), frozenset(work)
+
+
+@lru_cache(maxsize=4096)
+def _residual_models(clauses: frozenset[Clause]) -> tuple[dict, ...]:
+    """Every satisfying assignment of a residual (unit-free) clause set."""
+    atoms = sorted({a for c in clauses for a, _ in c}, key=repr)
+    if len(atoms) > _MAX_ATOMS:
+        raise ValueError(f"too many atoms to enumerate: {len(atoms)}")
+    models = []
+    for values in product((False, True), repeat=len(atoms)):
+        assignment = dict(zip(atoms, values))
+        if all(any(assignment[a] == v for a, v in c) for c in clauses):
+            models.append(assignment)
+    return tuple(models)
+
+
+# ----------------------------------------------------------------------
+# Environments (path conditions)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Env:
+    """An immutable path condition: a set of clauses over atoms."""
+
+    clauses: frozenset[Clause] = field(default_factory=frozenset)
+
+    def assume(self, f: Formula) -> Optional["Env"]:
+        """Conjoin ``f``; ``None`` if the path becomes unsatisfiable."""
+        new = Env(self.clauses | frozenset(_to_cnf(f)))
+        if not new.satisfiable():
+            return None
+        return new
+
+    def forget(self, atoms: Iterable[Atom]) -> "Env":
+        """Existentially quantify ``atoms`` out (drop their clauses).
+
+        Used for effects: after ``demote_owner`` nothing previously
+        known about the owner survives.  Dropping whole clauses is a
+        sound weakening — it can only make more states possible.
+        """
+        doomed = set(atoms)
+        return Env(
+            frozenset(
+                c for c in self.clauses if not any(a in doomed for a, _ in c)
+            )
+        )
+
+    def satisfiable(self) -> bool:
+        """Whether any assignment satisfies every clause."""
+        propagated = _propagate(self.clauses)
+        if propagated is None:
+            return False
+        _, residual = propagated
+        return not residual or bool(_residual_models(residual))
+
+    def determined(self, atoms: Iterable[Atom]) -> dict[Atom, bool]:
+        """Atoms (among ``atoms``) with one value in *every* model.
+
+        Exact: forced units are determined outright; atoms surviving
+        into the residual clauses are determined iff every residual
+        model agrees on them.  Atoms no clause mentions are free.
+        """
+        propagated = _propagate(self.clauses)
+        if propagated is None:
+            return {}  # unsatisfiable path: caller should have pruned it
+        forced, residual = propagated
+        forced_map = dict(forced)
+        models = _residual_models(residual) if residual else ({},)
+        out: dict[Atom, bool] = {}
+        for atom in atoms:
+            if atom in forced_map:
+                out[atom] = forced_map[atom]
+                continue
+            values = {m[atom] for m in models if atom in m}
+            if values == {True}:
+                out[atom] = True
+            elif values == {False}:
+                out[atom] = False
+        return out

@@ -1,0 +1,73 @@
+"""Orchestration for ``ksr-analyze flow``.
+
+Loads the program once, runs the three pillars (determinism, purity,
+conformance), and folds the results into one :class:`FlowReport` the
+CLI can render in any format and filter through a baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.analysis.flow.conformance import ExtractionError, conformance_findings
+from repro.analysis.flow.determinism import determinism_findings
+from repro.analysis.flow.findings import Finding
+from repro.analysis.flow.program import Program, load_program
+from repro.analysis.flow.purity import purity_findings
+
+__all__ = ["FlowReport", "run_flow"]
+
+
+@dataclass
+class FlowReport:
+    """Everything one flow run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    #: pass name -> {"ok": bool, "stats": {...}} (ok = pass *ran*;
+    #: findings decide success separately).
+    passes: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and all(p["ok"] for p in self.passes.values())
+
+
+def run_flow(
+    root: Optional[Path] = None,
+    sources: Optional[dict[str, str]] = None,
+    *,
+    conformance: bool = True,
+) -> FlowReport:
+    """Run all flow passes over the package (or explicit sources).
+
+    ``sources`` short-circuits program loading for tests; conformance
+    still reads the protocol from the supplied sources when present,
+    and is skipped when they do not include ``coherence/protocol.py``.
+    """
+    program: Program = load_program(root=root, sources=sources)
+    report = FlowReport()
+
+    det, det_stats = determinism_findings(program)
+    report.findings.extend(det)
+    report.passes["determinism"] = {"ok": True, "stats": det_stats}
+
+    pur, pur_stats = purity_findings(program)
+    report.findings.extend(pur)
+    report.passes["purity"] = {"ok": True, "stats": pur_stats}
+
+    if conformance:
+        protocol_source: Optional[str] = None
+        run_conformance = True
+        if sources is not None:
+            protocol_source = sources.get("coherence/protocol.py")
+            run_conformance = protocol_source is not None
+        if run_conformance:
+            try:
+                conf, conf_stats = conformance_findings(protocol_source)
+                report.findings.extend(conf)
+                report.passes["conformance"] = {"ok": True, "stats": conf_stats}
+            except ExtractionError as exc:
+                report.passes["conformance"] = {"ok": False, "error": str(exc)}
+    return report

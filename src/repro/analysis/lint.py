@@ -32,9 +32,11 @@ coding rules that nothing in Python enforces:
     with an explicit seed is fine — the rule targets the stateful
     legacy constructors.)  ``util/rng.py`` itself is exempt.
 
-The pass is a heuristic AST walk — aliasing a cache into a local
-variable can evade KSR101 — but it catches the direct spellings, which
-is what code review actually encounters.
+The pass is a heuristic AST walk.  Direct spellings and the
+single-assignment alias (``cache = cell.local_cache; cache.fill(...)``)
+are caught here; longer alias chains (``a = cell.local_cache; b = a``)
+need real dataflow and are covered by ``ksr-analyze flow`` (KSR111 in
+:mod:`repro.analysis.flow.determinism`).
 """
 
 from __future__ import annotations
@@ -126,6 +128,10 @@ class _Visitor(ast.NodeVisitor):
         self.check_rng = relpath not in RNG_ALLOWED
         #: Local aliases of RNG constructors (``from random import Random``).
         self._rng_names: set[str] = set()
+        #: Names assigned directly from a ``*.local_cache`` chain
+        #: (``cache = cell.local_cache``) — mutators through these are
+        #: KSR101 violations too, closing the single-assignment evasion.
+        self._cache_aliases: set[str] = set()
         self.violations: list[LintViolation] = []
 
     def _flag(self, node: ast.AST, code: str, message: str) -> None:
@@ -171,7 +177,9 @@ class _Visitor(ast.NodeVisitor):
             and node.func.attr in MUTATOR_METHODS
         ):
             chain = _attr_chain(node.func)
-            if "local_cache" in chain[:-1]:
+            if "local_cache" in chain[:-1] or (
+                len(chain) == 2 and chain[0] in self._cache_aliases
+            ):
                 self._flag(
                     node,
                     "KSR101",
@@ -216,6 +224,14 @@ class _Visitor(ast.NodeVisitor):
         if self.check_mutation:
             for target in node.targets:
                 self._check_states_store(target)
+            # record `cache = <...>.local_cache` single-assignment aliases
+            if (
+                len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Attribute)
+                and node.value.attr == "local_cache"
+            ):
+                self._cache_aliases.add(node.targets[0].id)
         self.generic_visit(node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:

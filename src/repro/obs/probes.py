@@ -35,6 +35,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = ["ObsSpec", "ObsCapture", "Observer"]
 
+# Determinism sinks for `ksr-analyze flow` (KSR110): capture labels
+# and metadata feed the golden-table regression suite and must be
+# stable run to run.
+__ksr_flow_sinks__ = ("Observer.capture",)
+
 
 @dataclass(frozen=True)
 class ObsSpec:

@@ -50,6 +50,11 @@ from repro.machine.config import RingConfig
 
 __all__ = ["RingGrant", "SlottedRing", "TransactionOutcome"]
 
+# Determinism sinks for `ksr-analyze flow` (KSR110): slot grant
+# ordering is replay-sensitive — request arguments must not depend on
+# wall clock, address hashes, or set iteration order.
+__ksr_flow_sinks__ = ("SlottedRing.transact", "SlottedRing._claim")
+
 #: Slot-alignment jitter values drawn from the ring's private RNG
 #: stream per batch (one numpy call amortised over many transactions).
 _JITTER_BATCH = 256

@@ -40,6 +40,11 @@ from repro.service.jobs import JobSpec, ServiceError
 
 __all__ = ["Job", "RejectedError", "Scheduler"]
 
+# Determinism sinks for `ksr-analyze flow` (KSR110): job specs decide
+# sweep cache keys downstream, so submissions must be deterministic
+# even though the scheduler itself keeps wall-clock bookkeeping.
+__ksr_flow_sinks__ = ("Scheduler.submit",)
+
 
 class RejectedError(ServiceError):
     """Queue full: reject-with-retry-after instead of unbounded growth."""

@@ -38,6 +38,10 @@ from repro.util.wallclock import perf_counter
 
 __all__ = ["Engine", "EngineStats", "Event"]
 
+# Determinism sinks for `ksr-analyze flow` (KSR110): event scheduling
+# must be a pure function of configuration and the master seed.
+__ksr_flow_sinks__ = ("Engine.schedule", "Engine.schedule_at")
+
 
 class Event:
     """A scheduled callback; returned by :meth:`Engine.schedule`.

@@ -62,3 +62,76 @@ class TestSharedCliHelpers:
     def test_experiments_unknown_id_exits_2(self, capsys):
         assert experiments_main(["not-an-experiment"]) == 2
         assert "not-an-experiment" in capsys.readouterr().err
+
+
+class TestFlowPassAndFormats:
+    """The flow pass, the shared reporter formats, and the baseline."""
+
+    def test_flow_pass_is_clean_under_strict(self, capsys):
+        assert main(["flow", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "flow[src/repro]: OK" in out
+        assert "conformance" in out
+
+    def test_json_format_reports_pass_outcomes(self, capsys):
+        import json
+
+        assert main(["lint", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tool"] == "ksr-analyze"
+        assert doc["findings"] == []
+        assert doc["passes"]["lint"]["ok"] is True
+
+    def test_sarif_format_carries_rule_catalog(self, capsys):
+        import json
+
+        assert main(["lint", "--format", "sarif"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "ksr-analyze"
+        assert {r["id"] for r in driver["rules"]} >= {"KSR101", "KSR110", "KSR113"}
+
+    def test_format_output_writes_rendered_report(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "report.sarif"
+        assert main(["lint", "--format", "sarif", "--output", str(target)]) == 0
+        capsys.readouterr()
+        doc = json.loads(target.read_text())
+        assert doc["version"] == "2.1.0"
+
+    def test_write_baseline_creates_file(self, tmp_path, capsys):
+        target = tmp_path / "baseline.json"
+        assert main(["lint", "--write-baseline", "--baseline", str(target)]) == 0
+        assert "wrote 0 baseline" in capsys.readouterr().out
+        assert target.exists()
+
+    def test_stale_baseline_entry_fails_only_under_strict(self, tmp_path, capsys):
+        import json
+
+        stale = tmp_path / "baseline.json"
+        stale.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [
+                        {
+                            "rule": "KSR110",
+                            "path": "gone.py",
+                            "span": "0" * 16,
+                            "note": "fixed long ago",
+                        }
+                    ],
+                }
+            )
+        )
+        assert main(["lint", "--baseline", str(stale)]) == 0
+        assert "stale baseline entry" in capsys.readouterr().out
+        assert main(["lint", "--baseline", str(stale), "--strict"]) == 1
+
+    def test_corrupt_baseline_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "baseline.json"
+        bad.write_text("{not json")
+        assert main(["lint", "--baseline", str(bad)]) == 2
+        assert "unreadable baseline" in capsys.readouterr().err

@@ -1,0 +1,102 @@
+"""Baseline add/suppress/expire lifecycle and span-hash stability."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.flow.baseline import Baseline, BaselineError
+from repro.analysis.flow.findings import Finding, span_hash
+
+
+def _finding(rule="KSR110", path="mod.py", line=5, snippet="engine.schedule(t, cb)"):
+    return Finding(
+        rule=rule,
+        path=path,
+        line=line,
+        col=4,
+        message="nondeterministic value reaches determinism sink",
+        snippet=snippet,
+    )
+
+
+class TestSpanHash:
+    def test_line_drift_does_not_change_identity(self):
+        a = _finding(line=5)
+        b = _finding(line=42)  # code moved; same flagged text
+        assert a.span == b.span
+        assert a.key() == b.key()
+
+    def test_whitespace_is_normalized(self):
+        assert span_hash("KSR110", "mod.py", "engine.schedule(t, cb)") == span_hash(
+            "KSR110", "mod.py", "engine.schedule(t,\n        cb)"
+        )
+
+    def test_rule_and_path_are_part_of_identity(self):
+        assert _finding(rule="KSR110").span != _finding(rule="KSR111").span
+        assert _finding(path="a.py").span != _finding(path="b.py").span
+
+
+class TestLifecycle:
+    def test_write_then_suppress(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        f = _finding()
+        assert Baseline.write(path, [f]) == 1
+        baseline = Baseline.load(path)
+        kept, suppressed = baseline.apply([f])
+        assert kept == []
+        assert suppressed == 1
+        assert baseline.stale() == []
+
+    def test_new_findings_pass_through(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.write(path, [_finding()])
+        baseline = Baseline.load(path)
+        fresh = _finding(snippet="point_key(func, stamp=time.time())")
+        kept, suppressed = baseline.apply([_finding(), fresh])
+        assert kept == [fresh]
+        assert suppressed == 1
+
+    def test_fixed_findings_leave_stale_entries(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.write(path, [_finding()])
+        baseline = Baseline.load(path)
+        kept, suppressed = baseline.apply([])  # the finding was fixed
+        assert kept == [] and suppressed == 0
+        stale = baseline.stale()
+        assert len(stale) == 1
+        assert stale[0]["rule"] == "KSR110"
+
+    def test_rewrite_prunes_stale_entries(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.write(path, [_finding(), _finding(rule="KSR112")])
+        # only one finding survives; rewriting drops the other entry
+        assert Baseline.write(path, [_finding()]) == 1
+        doc = json.loads(path.read_text())
+        assert len(doc["entries"]) == 1
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        kept, suppressed = baseline.apply([_finding()])
+        assert suppressed == 0 and len(kept) == 1
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+    def test_entries_sorted_for_clean_diffs(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.write(
+            path,
+            [
+                _finding(path="z.py"),
+                _finding(path="a.py"),
+                _finding(path="a.py", rule="KSR111"),
+            ],
+        )
+        doc = json.loads(path.read_text())
+        keys = [(e["path"], e["rule"]) for e in doc["entries"]]
+        assert keys == sorted(keys)

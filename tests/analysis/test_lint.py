@@ -197,3 +197,69 @@ class TestTreeAndReport:
     def test_syntax_error_propagates(self):
         with pytest.raises(SyntaxError):
             lint_source("def broken(:\n", "sim/engine.py")
+
+
+class TestKSR101AliasRegression:
+    """The documented KSR101 evasion: aliasing the cache into a local.
+
+    The per-file lint now catches the single-assignment spelling; the
+    multi-hop spelling still evades it (by design — that needs real
+    dataflow) and is covered by ``ksr-analyze flow``'s KSR111 instead.
+    """
+
+    SINGLE_HOP = """
+    def poke(cell):
+        cache = cell.local_cache
+        cache.set_state(3, None)
+    """
+
+    MULTI_HOP = """
+    def poke(cell):
+        a = cell.local_cache
+        b = a
+        b.set_state(3, None)
+    """
+
+    def test_single_assignment_alias_no_longer_evades_lint(self):
+        flags = _lint(self.SINGLE_HOP, relpath="machine/cell.py")
+        assert _codes(flags) == ["KSR101"]
+        assert "cache.set_state" in flags[0].message
+
+    def test_alias_states_write_is_flagged(self):
+        flags = _lint(
+            """
+            def poke(cell):
+                cache = cell.local_cache
+                cache._states[7] = None
+            """,
+            relpath="machine/cell.py",
+        )
+        assert _codes(flags) == ["KSR101"]
+
+    def test_alias_in_whitelisted_module_is_fine(self):
+        assert _lint(self.SINGLE_HOP, relpath="coherence/protocol.py") == []
+
+    def test_alias_reads_are_fine(self):
+        flags = _lint(
+            """
+            def peek(cell):
+                cache = cell.local_cache
+                return cache.state_of(3)
+            """,
+            relpath="machine/cell.py",
+        )
+        assert flags == []
+
+    def test_multi_hop_still_evades_lint_but_flow_catches_it(self):
+        import textwrap
+
+        from repro.analysis.flow import run_flow
+
+        # the per-file lint's known residual gap...
+        assert _lint(self.MULTI_HOP, relpath="machine/cell.py") == []
+        # ...is exactly what flow's KSR111 closes
+        report = run_flow(
+            sources={"machine/cell.py": textwrap.dedent(self.MULTI_HOP)},
+            conformance=False,
+        )
+        assert [f.rule for f in report.findings] == ["KSR111"]
