@@ -1,15 +1,26 @@
-"""Engine throughput meter: events/sec on the Fig. 3 lock workload.
+"""Engine throughput meter: events/sec on the pinned acceptance workloads.
 
-The acceptance workload for the simulator fast path: 32 processors
-fighting over one hardware exclusive lock (the paper's Figure 3 point
-with the most ring traffic), measured by the engine's own
-``Engine.stats`` counter.  Usable two ways::
+Two workloads, each run with the macro-event batching core off and on:
+
+* **fig3** — 32 processors fighting over one hardware exclusive lock
+  (the paper's Figure 3 point with the most ring traffic; >90 % of
+  events are hardware ``get_subpage`` retries, the chain shape the
+  batching core coalesces).
+* **fig4** — 16 processors in a counter barrier (Figure 4's most
+  contended algorithm: lock traffic plus spin-wait phases).
+
+Measured by the engine's own ``Engine.stats`` counter.  Usable as::
 
     python benchmarks/engine_bench.py                  # print the numbers
     python benchmarks/engine_bench.py --out bench.json # also write JSON
+    python benchmarks/engine_bench.py --check          # exit 1 if batching
+                                                       # does not pay on fig3
 
-The JSON shape matches the committed ``BENCH_engine.json`` history file
-at the repository root, so a new measurement can be appended verbatim.
+The JSON entry shape matches the committed ``BENCH_engine.json`` history
+file at the repository root, so a new measurement can be appended
+verbatim.  Batched and unbatched runs must fire the same number of
+events (byte-identity is the batching contract); ``--check`` also
+enforces that.
 """
 
 from __future__ import annotations
@@ -19,44 +30,137 @@ import json
 import sys
 
 from repro.machine.api import SharedMemory
-from repro.machine.config import MachineConfig
+from repro.machine.config import MachineConfig, TimerConfig
 from repro.machine.ksr import KsrMachine
+from repro.sim.process import LocalOps
+from repro.sync.barriers import make_barrier
 from repro.sync.locks import HardwareExclusiveLock, LockWorkloadParams, run_lock_workload
 
-#: The measured workload, stated once so the history stays comparable.
+#: The measured workloads, stated once so the history stays comparable.
 WORKLOAD = "fig3 hardware-lock workload: 32 procs, 30 ops/proc, seed 303"
+WORKLOAD_FIG4 = "fig4 counter-barrier workload: 16 procs, 40 reps, seed 404"
+
+#: Matches the inter-episode compute of ``experiments.barriers``.
+_INTER_EPISODE_OPS = 20
 
 
-def measure(n_procs: int = 32, ops: int = 30, seed: int = 303) -> dict:
-    """Run the workload once and return the engine's throughput stats."""
-    machine = KsrMachine(MachineConfig.ksr1(n_cells=n_procs, seed=seed))
-    mem = SharedMemory(machine)
-    lock = HardwareExclusiveLock(mem)
-    params = LockWorkloadParams(ops_per_processor=ops, read_fraction=0.0, seed=seed)
-    run_lock_workload(machine, lock, params, n_threads=n_procs)
+def _record(machine: KsrMachine, workload: str, batching: bool) -> dict:
     stats = machine.engine.stats
     return {
-        "workload": WORKLOAD,
+        "workload": workload,
+        "batching": "on" if batching else "off",
         "events": stats.events_fired,
+        "batched_events": stats.batched_events,
         "wall_seconds": round(stats.wall_seconds, 4),
         "events_per_sec": round(stats.events_per_sec),
     }
 
 
+def measure(
+    n_procs: int = 32, ops: int = 30, seed: int = 303, *, batching: bool = False
+) -> dict:
+    """Run the fig3 lock workload once; return engine throughput stats."""
+    machine = KsrMachine(
+        MachineConfig.ksr1(n_cells=n_procs, seed=seed, enable_batching=batching)
+    )
+    mem = SharedMemory(machine)
+    lock = HardwareExclusiveLock(mem)
+    params = LockWorkloadParams(ops_per_processor=ops, read_fraction=0.0, seed=seed)
+    run_lock_workload(machine, lock, params, n_threads=n_procs)
+    return _record(machine, WORKLOAD, batching)
+
+
+def measure_fig4(
+    n_procs: int = 16, reps: int = 40, seed: int = 404, *, batching: bool = False
+) -> dict:
+    """Run the fig4 counter-barrier workload once; return engine stats.
+
+    Mirrors ``experiments.barriers.measure_barrier`` (timer off, same
+    inter-episode compute) so the event population is the one the
+    figure-4 sweep generates.
+    """
+    machine = KsrMachine(
+        MachineConfig.ksr1(
+            n_cells=n_procs,
+            seed=seed,
+            timer=TimerConfig(enabled=False),
+            enable_batching=batching,
+        )
+    )
+    mem = SharedMemory(machine)
+    barrier = make_barrier("counter", mem, n_procs)
+
+    def body(pid: int):
+        for episode in range(reps):
+            yield LocalOps(_INTER_EPISODE_OPS)
+            yield from barrier.wait(pid, episode)
+
+    for i in range(n_procs):
+        machine.spawn(f"bar-{i}", body(i), i)
+    machine.run()
+    return _record(machine, WORKLOAD_FIG4, batching)
+
+
+def run_all() -> list[dict]:
+    """All four pinned measurements: both workloads, batching off/on."""
+    return [
+        measure(batching=False),
+        measure(batching=True),
+        measure_fig4(batching=False),
+        measure_fig4(batching=True),
+    ]
+
+
+def check(entries: list[dict]) -> list[str]:
+    """Regression guards: batching must not lose events or throughput."""
+    problems: list[str] = []
+    by_key = {(e["workload"], e["batching"]): e for e in entries}
+    for workload in (WORKLOAD, WORKLOAD_FIG4):
+        off, on = by_key.get((workload, "off")), by_key.get((workload, "on"))
+        if off is None or on is None:
+            continue
+        if on["events"] != off["events"]:
+            problems.append(
+                f"{workload}: batching changed the event count "
+                f"({off['events']} -> {on['events']}) — identity broken"
+            )
+    fig3_off, fig3_on = by_key.get((WORKLOAD, "off")), by_key.get((WORKLOAD, "on"))
+    if fig3_off and fig3_on and fig3_on["events_per_sec"] <= fig3_off["events_per_sec"]:
+        problems.append(
+            f"fig3: batching on is not faster "
+            f"({fig3_on['events_per_sec']} <= {fig3_off['events_per_sec']} ev/s)"
+        )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", metavar="FILE", help="write the measurement as JSON")
-    args = parser.parse_args(argv)
-    record = measure()
-    print(
-        f"{record['events']} events in {record['wall_seconds']:.2f}s "
-        f"= {record['events_per_sec']} events/sec"
+    parser.add_argument("--out", metavar="FILE", help="write the measurements as JSON")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero if batching loses events or fig3 throughput",
     )
+    args = parser.parse_args(argv)
+    entries = run_all()
+    for record in entries:
+        print(
+            f"[batching {record['batching']:>3}] {record['events']} events "
+            f"({record['batched_events']} batched) in {record['wall_seconds']:.2f}s "
+            f"= {record['events_per_sec']} events/sec  ({record['workload']})"
+        )
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
-            json.dump(record, fh, indent=2)
+            json.dump({"entries": entries}, fh, indent=2)
             fh.write("\n")
         print(f"written to {args.out}")
+    if args.check:
+        problems = check(entries)
+        for problem in problems:
+            print(f"CHECK FAILED: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print("checks passed: identical event counts, fig3 batching pays")
     return 0
 
 

@@ -32,10 +32,19 @@ coding rules that nothing in Python enforces:
     with an explicit seed is fine — the rule targets the stateful
     legacy constructors.)  ``util/rng.py`` itself is exempt.
 
+``KSR114`` — ring grant heaps are mutated only by the blessed sites.
+    A sub-ring's ``(free_time, slot)`` heap (the ``_free`` table of
+    :class:`~repro.ring.slotted_ring.SlottedRing`) is replaced-into by
+    exactly two pieces of code: ``SlottedRing._claim`` (the per-event
+    grant) and the macro-event ``BatchAdvancer`` (its bit-exact
+    closed-form inline).  A ``heapreplace`` against ``_free`` anywhere
+    else is a third copy of the grant arithmetic waiting to drift.
+
 The pass is a heuristic AST walk.  Direct spellings and the
-single-assignment alias (``cache = cell.local_cache; cache.fill(...)``)
-are caught here; longer alias chains (``a = cell.local_cache; b = a``)
-need real dataflow and are covered by ``ksr-analyze flow`` (KSR111 in
+single-assignment alias (``cache = cell.local_cache; cache.fill(...)``,
+``heap = self._free[subring]; heapreplace(heap, ...)``) are caught
+here; longer alias chains (``a = cell.local_cache; b = a``) need real
+dataflow and are covered by ``ksr-analyze flow`` (KSR111 in
 :mod:`repro.analysis.flow.determinism`).
 """
 
@@ -77,6 +86,13 @@ TIME_ATTRS = frozenset(
     }
 )
 TIME_NAMES = frozenset({"now"})
+#: The grant-heap attribute guarded by KSR114.
+GRANT_HEAP_ATTR = "_free"
+#: Classes whose bodies may ``heapreplace`` a grant heap (KSR114): the
+#: per-event claim path and the macro-event batch advancers.
+GRANT_HEAP_CLASSES = frozenset({"BatchAdvancer"})
+#: (class, method) sites likewise allowed.
+GRANT_HEAP_METHODS = frozenset({("SlottedRing", "_claim")})
 
 
 @dataclass(frozen=True)
@@ -132,7 +148,45 @@ class _Visitor(ast.NodeVisitor):
         #: (``cache = cell.local_cache``) — mutators through these are
         #: KSR101 violations too, closing the single-assignment evasion.
         self._cache_aliases: set[str] = set()
+        #: Names assigned from a ``*._free[...]`` grant-heap lookup
+        #: (``heap = self._free[subring]``) for KSR114.
+        self._free_aliases: set[str] = set()
+        #: Enclosing class names / function names, innermost last.
+        self._class_stack: list[str] = []
+        self._func_stack: list[str] = []
         self.violations: list[LintViolation] = []
+
+    # -- scope tracking (KSR114) ----------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _visit_func(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self._func_stack.append(node.name)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    def _grant_heap_site(self) -> bool:
+        """Whether the current scope may mutate a grant heap."""
+        if any(cls in GRANT_HEAP_CLASSES for cls in self._class_stack):
+            return True
+        return any(
+            cls in self._class_stack and fn in self._func_stack
+            for cls, fn in GRANT_HEAP_METHODS
+        )
+
+    def _is_grant_heap(self, node: ast.expr) -> bool:
+        """Whether an expression denotes a ``_free`` grant heap."""
+        if isinstance(node, ast.Name):
+            return node.id in self._free_aliases
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        return isinstance(node, ast.Attribute) and node.attr == GRANT_HEAP_ATTR
 
     def _flag(self, node: ast.AST, code: str, message: str) -> None:
         self.violations.append(
@@ -205,6 +259,24 @@ class _Visitor(ast.NodeVisitor):
                     "generators from repro.util.rng (SeedStream/derive_rng) "
                     "so every stream is named and seeded",
                 )
+        # KSR114 --------------------------------------------------------
+        func = node.func
+        is_heapreplace = (isinstance(func, ast.Name) and func.id == "heapreplace") or (
+            isinstance(func, ast.Attribute) and func.attr == "heapreplace"
+        )
+        if (
+            is_heapreplace
+            and node.args
+            and self._is_grant_heap(node.args[0])
+            and not self._grant_heap_site()
+        ):
+            self._flag(
+                node,
+                "KSR114",
+                "heapreplace on a ring grant heap (_free) outside "
+                "SlottedRing._claim / BatchAdvancer — the grant arithmetic "
+                "lives in exactly those two places",
+            )
         self.generic_visit(node)
 
     def _check_states_store(self, target: ast.expr) -> None:
@@ -232,6 +304,14 @@ class _Visitor(ast.NodeVisitor):
                 and node.value.attr == "local_cache"
             ):
                 self._cache_aliases.add(node.targets[0].id)
+        # record `heap = <...>._free[...]` grant-heap aliases (KSR114)
+        if (
+            len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and self._is_grant_heap(node.value)
+            and not isinstance(node.value, ast.Name)
+        ):
+            self._free_aliases.add(node.targets[0].id)
         self.generic_visit(node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:

@@ -71,7 +71,10 @@ class _AtomicWaiter:
     retry: Callable[[float], None]
     is_gsp: bool
     enqueued_at: float
-    retry_event: Optional[Event] = None
+    #: The pending hardware retry: an engine :class:`Event`, or a
+    #: :class:`repro.sim.batch.MacroChain` when the macro-event layer
+    #: carries this waiter's retry loop.  Both expose ``cancel()``.
+    retry_event: Optional[Any] = None
 
 
 @dataclass
@@ -114,6 +117,11 @@ class CoherenceProtocol:
         #: fault bookkeeping so clean machines pay one branch per
         #: transaction and touch no fault counters.
         self.fault_accounting = False
+        #: The macro-event layer (:class:`repro.ring.batch.BatchAdvancer`),
+        #: wired by :class:`~repro.machine.ksr.KsrMachine` when
+        #: ``MachineConfig.enable_batching`` is set; ``None`` keeps the
+        #: per-event retry closures.
+        self.batch_advancer: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -422,6 +430,23 @@ class CoherenceProtocol:
         waiter = _AtomicWaiter(cell_id, retry, is_gsp=want_atomic, enqueued_at=now)
         self._atomic_waiters.setdefault(subpage_id, []).append(waiter)
         interval = self.config.ring.circuit_cycles * self.GSP_RETRY_CIRCUITS
+        # Macro-event path (repro.ring.batch): the self-clocked retry
+        # loop becomes a batchable chain instead of an event-per-retry
+        # closure.  Fault accounting forces per-event retries — the
+        # injector seams charge per-retry counters a closed-form advance
+        # does not replicate.
+        advancer = self.batch_advancer
+        if (
+            advancer is not None
+            and not self.fault_accounting
+            and advancer.gsp_chain_allowed()
+        ):
+            chain = advancer.start_gsp_chain(
+                cell.perfmon, cell_id, subpage_id, interval
+            )
+            if chain is not None:
+                waiter.retry_event = chain
+                return
         # Hot path under lock contention: most events of a contended run
         # are these retries, so bind everything the closure touches once.
         perfmon = cell.perfmon

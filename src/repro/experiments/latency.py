@@ -65,9 +65,12 @@ class LatencyMeasurement:
         return self.mean_latency_s * 20e6
 
 
-def _quiet(n_procs: int, seed: int) -> KsrMachine:
+def _quiet(n_procs: int, seed: int, batching: bool = False) -> KsrMachine:
     config = MachineConfig.ksr1(
-        n_cells=max(2, n_procs), seed=seed, timer=TimerConfig(enabled=False)
+        n_cells=max(2, n_procs),
+        seed=seed,
+        timer=TimerConfig(enabled=False),
+        enable_batching=batching,
     )
     return KsrMachine(config)
 
@@ -100,6 +103,7 @@ def measure_latencies(
     seed: int = 101,
     samples: int = _SAMPLES,
     obs: ObsSpec | None = None,
+    batching: bool = False,
 ) -> LatencyMeasurement | tuple[LatencyMeasurement, ObsCapture]:
     """One (level, op, P) measurement on a fresh machine.
 
@@ -118,7 +122,7 @@ def measure_latencies(
         raise ConfigError(f"unknown op {op!r}")
     if stride_bytes is None:
         stride_bytes = SUBBLOCK_BYTES if level == "local" else SUBPAGE_BYTES
-    machine = _quiet(n_procs, seed)
+    machine = _quiet(n_procs, seed, batching)
     observer = Observer(obs).attach(machine) if obs is not None else None
     mem = SharedMemory(machine)
     # the timed sweep must never wrap, or revisits become cache hits

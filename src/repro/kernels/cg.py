@@ -39,7 +39,7 @@ from repro.errors import ConfigError
 from repro.kernels.costmodel import BarrierCostModel, KernelCostModel, PhaseWork
 from repro.kernels.sparse import SparseCSR, random_sparse_spd
 from repro.machine.config import MachineConfig, SUBPAGE_BYTES, WORD_BYTES
-from repro.memory.streams import concat, gather, sequential
+from repro.memory.streams import AccessStream, concat, gather, sequential
 
 __all__ = ["CgKernel", "CgResult"]
 
@@ -95,6 +95,12 @@ class CgKernel:
         self.matrix: SparseCSR = random_sparse_spd(n, nnz_target, seed=seed)
         self.cost_model = KernelCostModel(config)
         self.barrier_model = BarrierCostModel(config)
+        # Stream content depends only on (pid, n_procs) — poststore and
+        # prefetch variants differ in PhaseWork scalars, so a scaling
+        # sweep rebuilds the same gather-heavy streams many times over.
+        # Streams are immutable; share them.
+        self._matvec_streams: dict[tuple[int, int], AccessStream] = {}
+        self._serial_stream: AccessStream | None = None
 
     @staticmethod
     def paper_size(config: MachineConfig, *, iterations: int = 400) -> "CgKernel":
@@ -144,15 +150,18 @@ class CgKernel:
         k_lo, k_hi = int(A.row_start[lo]), int(A.row_start[hi])
         nnz_p = k_hi - k_lo
         rows_p = hi - lo
-        stream = concat(
-            [
-                sequential(_ROW_BASE + lo * WORD_BYTES, rows_p + 1),
-                sequential(_COL_BASE + k_lo * WORD_BYTES, nnz_p),
-                sequential(_A_BASE + k_lo * WORD_BYTES, nnz_p),
-                gather(_X_BASE, A.col_index[k_lo:k_hi]),
-                sequential(_Y_BASE + lo * WORD_BYTES, rows_p, write_fraction=1.0),
-            ]
-        )
+        stream = self._matvec_streams.get((pid, n_procs))
+        if stream is None:
+            stream = concat(
+                [
+                    sequential(_ROW_BASE + lo * WORD_BYTES, rows_p + 1),
+                    sequential(_COL_BASE + k_lo * WORD_BYTES, nnz_p),
+                    sequential(_A_BASE + k_lo * WORD_BYTES, nnz_p),
+                    gather(_X_BASE, A.col_index[k_lo:k_hi]),
+                    sequential(_Y_BASE + lo * WORD_BYTES, rows_p, write_fraction=1.0),
+                ]
+            )
+            self._matvec_streams[(pid, n_procs)] = stream
         # x segments written by the other processors last iteration are
         # invalidated place-holders: remote re-fetches.
         x_subpages = self.n * WORD_BYTES / SUBPAGE_BYTES
@@ -175,12 +184,15 @@ class CgKernel:
 
     def _serial_work(self, n_procs: int, use_poststore: bool, parallel_utilization: float) -> PhaseWork:
         n = self.n
-        stream = concat(
-            [
-                sequential(_VEC_BASE + k * 0x0100_0000, n, write_fraction=0.4)
-                for k in range(_SERIAL_VECTORS)
-            ]
-        )
+        stream = self._serial_stream
+        if stream is None:
+            stream = concat(
+                [
+                    sequential(_VEC_BASE + k * 0x0100_0000, n, write_fraction=0.4)
+                    for k in range(_SERIAL_VECTORS)
+                ]
+            )
+            self._serial_stream = stream
         vec_subpages = n * WORD_BYTES / SUBPAGE_BYTES
         remote = (
             2.0 * vec_subpages * (n_procs - 1) / n_procs if n_procs > 1 else 0.0

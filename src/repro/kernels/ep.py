@@ -26,6 +26,11 @@ from repro.memory.streams import sequential
 
 __all__ = ["EpKernel", "EpResult"]
 
+#: The resident working set of the tally loop — a few KB of private
+#: bins — modelled as one small stream, shared across every pricing
+#: call (streams are immutable).
+_TALLY_STREAM = sequential(0, 16, write_fraction=0.5)
+
 #: Average floating-point operations per generated pair: generation
 #: (normalisation, scaling) + the squared radius test, plus the
 #: log/sqrt/divide transform (weighted by the pi/4 acceptance rate)
@@ -130,15 +135,12 @@ class EpKernel:
 
     def _model_time(self, n_procs: int, pairs_per_proc: int) -> float:
         """One parallel phase + one reduction + one barrier."""
-        # EP generates in small chunks; the resident working set is a
-        # few KB of tallies — model a small private stream.
-        tally_stream = sequential(0, 16, write_fraction=0.5)
         main = PhaseWork(
             name="ep-main",
             n_active=n_procs,
             flops=pairs_per_proc * FLOPS_PER_PAIR,
             int_ops=pairs_per_proc * 4.0,  # LCG updates and bin index math
-            stream=tally_stream,
+            stream=_TALLY_STREAM,
         )
         cost = self.cost_model.phase_cost(main)
         # final reduction: every processor ships 12 words (one subpage)

@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.kernels.costmodel import BarrierCostModel, KernelCostModel, PhaseWork
+from repro.kernels.vectorized import shift_stream
 from repro.machine.config import MachineConfig, SUBPAGE_BYTES
 from repro.memory.streams import AccessStream, concat, gather, sequential
 
@@ -171,6 +172,47 @@ class IsKernel:
         def per_proc(name: str, builder) -> tuple[str, list[PhaseWork], bool]:
             return name, [builder(p) for p in range(P)], False
 
+        def translated(stream0: AccessStream, p: int, delta_bytes: int, build) -> AccessStream:
+            """Processor ``p``'s copy of a per-processor stream: shift
+            processor 0's when the offset is subpage-aligned, else
+            rebuild (content-identical either way)."""
+            if p == 0:
+                return stream0
+            shifted = shift_stream(stream0, p * delta_bytes)
+            return shifted if shifted is not None else build(p)
+
+        # Shared per-processor stream pieces.  Each processor's key
+        # sweep and keyden portion are translates of processor 0's;
+        # the bucket gathers are shared verbatim between the count and
+        # rank phases (same keys drive both).
+        key0 = sequential(_KEY_BASE, key_words)
+        key_streams = [
+            translated(
+                key0,
+                p,
+                key_words * 8,
+                lambda p: sequential(_KEY_BASE + p * key_words * 8, key_words),
+            )
+            for p in range(P)
+        ]
+        portion0 = sequential(_KEYDEN_BASE, portion_words, write_fraction=0.5)
+        portion_streams = [
+            translated(
+                portion0,
+                p,
+                portion_words * 8,
+                lambda p: sequential(
+                    _KEYDEN_BASE + p * portion_words * 8,
+                    portion_words,
+                    write_fraction=0.5,
+                ),
+            )
+            for p in range(P)
+        ]
+        gathers = [
+            self._bucket_gather(p, P, _KEYDEN_T_BASE + (p << 24)) for p in range(P)
+        ]
+
         # 1: local bucket count over own keys
         phases.append(
             per_proc(
@@ -179,12 +221,7 @@ class IsKernel:
                     name=f"is-count-p{p}",
                     n_active=P,
                     int_ops=3.0 * keys_per,
-                    stream=concat(
-                        [
-                            sequential(_KEY_BASE + p * key_words * 8, key_words),
-                            self._bucket_gather(p, P, _KEYDEN_T_BASE + (p << 24)),
-                        ]
-                    ),
+                    stream=concat([key_streams[p], gathers[p]]),
                     stream_scale=1.0,  # gather already subsampled; its
                     # weight is small next to the key sweep
                     prefetch_overlap=_STREAM_PREFETCH_OVERLAP,
@@ -200,15 +237,7 @@ class IsKernel:
                     name=f"is-acc-p{p}",
                     n_active=P,
                     int_ops=2.0 * bucket_words,
-                    stream=concat(
-                        [
-                            sequential(
-                                _KEYDEN_BASE + p * portion_words * 8,
-                                portion_words,
-                                write_fraction=0.5,
-                            )
-                        ]
-                    ),
+                    stream=portion_streams[p],
                     remote_subpages=remote_acc,
                     prefetch_overlap=_STREAM_PREFETCH_OVERLAP,
                 ),
@@ -222,11 +251,7 @@ class IsKernel:
                     name=f"is-prefix-p{p}",
                     n_active=P,
                     int_ops=2.0 * portion_words,
-                    stream=sequential(
-                        _KEYDEN_BASE + p * portion_words * 8,
-                        portion_words,
-                        write_fraction=0.5,
-                    ),
+                    stream=portion_streams[p],
                 ),
             )
         )
@@ -253,11 +278,7 @@ class IsKernel:
                     name=f"is-rebase-p{p}",
                     n_active=P,
                     int_ops=portion_words,
-                    stream=sequential(
-                        _KEYDEN_BASE + p * portion_words * 8,
-                        portion_words,
-                        write_fraction=0.5,
-                    ),
+                    stream=portion_streams[p],
                     remote_subpages=1.0 if P > 1 else 0.0,
                 ),
             )
@@ -267,6 +288,19 @@ class IsKernel:
         chunk_cycles = self.config.remote_latency_cycles  # lock handoff
         n_chunks = max(1, (bucket_words * 8) // _COPY_CHUNK_BYTES)
         pipeline_fill = (P - 1) * chunk_cycles * n_chunks / max(1, P)
+        keyden_full = sequential(_KEYDEN_BASE, bucket_words)
+        keyden_t0 = sequential(_KEYDEN_T_BASE, bucket_words, write_fraction=1.0)
+        keyden_t_streams = [
+            translated(
+                keyden_t0,
+                p,
+                1 << 24,
+                lambda p: sequential(
+                    _KEYDEN_T_BASE + (p << 24), bucket_words, write_fraction=1.0
+                ),
+            )
+            for p in range(P)
+        ]
         phases.append(
             per_proc(
                 "atomic-copy",
@@ -275,16 +309,7 @@ class IsKernel:
                     n_active=P,
                     int_ops=2.0 * bucket_words,
                     extra_cycles=pipeline_fill,
-                    stream=concat(
-                        [
-                            sequential(_KEYDEN_BASE, bucket_words),
-                            sequential(
-                                _KEYDEN_T_BASE + (p << 24),
-                                bucket_words,
-                                write_fraction=1.0,
-                            ),
-                        ]
-                    ),
+                    stream=concat([keyden_full, keyden_t_streams[p]]),
                     remote_subpages=copy_remote,
                     prefetch_overlap=_STREAM_PREFETCH_OVERLAP,
                 ),
@@ -292,6 +317,18 @@ class IsKernel:
         )
         # 7: rank assignment through the private keyden_t
         rank_words = self._key_words(keys_per)
+        rank0 = sequential(_RANK_BASE, rank_words, write_fraction=1.0)
+        rank_streams = [
+            translated(
+                rank0,
+                p,
+                rank_words * 8,
+                lambda p: sequential(
+                    _RANK_BASE + p * rank_words * 8, rank_words, write_fraction=1.0
+                ),
+            )
+            for p in range(P)
+        ]
         phases.append(
             per_proc(
                 "rank",
@@ -299,17 +336,7 @@ class IsKernel:
                     name=f"is-rank-p{p}",
                     n_active=P,
                     int_ops=4.0 * keys_per,
-                    stream=concat(
-                        [
-                            sequential(_KEY_BASE + p * key_words * 8, key_words),
-                            self._bucket_gather(p, P, _KEYDEN_T_BASE + (p << 24)),
-                            sequential(
-                                _RANK_BASE + p * rank_words * 8,
-                                rank_words,
-                                write_fraction=1.0,
-                            ),
-                        ]
-                    ),
+                    stream=concat([key_streams[p], gathers[p], rank_streams[p]]),
                     prefetch_overlap=_STREAM_PREFETCH_OVERLAP,
                 ),
             )

@@ -41,8 +41,9 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.kernels.costmodel import BarrierCostModel, KernelCostModel, PhaseWork
+from repro.kernels.vectorized import shift_stream
 from repro.machine.config import MachineConfig, SUBPAGE_BYTES, WORD_BYTES
-from repro.memory.streams import concat, sequential, strided
+from repro.memory.streams import AccessStream, concat, sequential, strided
 
 __all__ = ["SpApplication", "SpResult"]
 
@@ -99,6 +100,29 @@ class SpApplication:
         self.forcing = rng.uniform(-0.1, 0.1, size=(grid, grid, grid))
         self.cost_model = KernelCostModel(config)
         self.barrier_model = BarrierCostModel(config)
+        # Phase stream content depends only on (phase kind, axis
+        # orientation, n_procs, pid): the y and z sweeps build the same
+        # streams, padding/prefetch/poststore variants differ only in
+        # PhaseWork scalars, and ladders/sweeps revisit processor
+        # counts.  Streams are immutable; build each once and reuse
+        # (processor p's stream is a shifted copy of processor 0's
+        # whenever the slab offset is subpage-aligned).
+        self._stream_cache: dict[tuple, AccessStream] = {}
+
+    def _phase_stream(self, key: tuple, pid: int, delta_bytes: int, build) -> AccessStream:
+        cache = self._stream_cache
+        stream = cache.get(key + (pid,))
+        if stream is not None:
+            return stream
+        stream = None
+        if pid:
+            stream0 = cache.get(key + (0,))
+            if stream0 is not None:
+                stream = shift_stream(stream0, pid * delta_bytes)
+        if stream is None:
+            stream = build()
+        cache[key + (pid,)] = stream
+        return stream
 
     @staticmethod
     def paper_size(config: MachineConfig) -> "SpApplication":
@@ -197,20 +221,26 @@ class SpApplication:
         g = self.grid
         points = g * g * g // n_procs
         words = points  # one solution word per point
-        if axis_contiguous:
-            grid_stream = sequential(_GRID_BASE + pid * words * 8, words)
-        else:
-            # sweep orthogonal to memory order: plane-strided accesses
-            grid_stream = strided(
-                _GRID_BASE + pid * words * 8,
-                min(words, 65536),
-                stride_words=g,
+
+        def build() -> AccessStream:
+            if axis_contiguous:
+                grid_stream = sequential(_GRID_BASE + pid * words * 8, words)
+            else:
+                # sweep orthogonal to memory order: plane-strided accesses
+                grid_stream = strided(
+                    _GRID_BASE + pid * words * 8,
+                    min(words, 65536),
+                    stride_words=g,
+                )
+            return concat(
+                [
+                    grid_stream,
+                    sequential(_RHS_BASE + pid * words * 8, words, write_fraction=0.5),
+                ]
             )
-        stream = concat(
-            [
-                grid_stream,
-                sequential(_RHS_BASE + pid * words * 8, words, write_fraction=0.5),
-            ]
+
+        stream = self._phase_stream(
+            ("sweep", axis_contiguous, n_procs), pid, words * 8, build
         )
         # Inter-processor communication at phase start.  In-slab
         # sweeps exchange halo planes; the sweep orthogonal to the
@@ -250,12 +280,16 @@ class SpApplication:
     def _rhs_work(self, pid: int, n_procs: int, *, padded: bool) -> PhaseWork:
         g = self.grid
         points = g * g * g // n_procs
-        stream = concat(
-            [
-                sequential(_GRID_BASE + pid * points * 8, points),
-                sequential(_RHS_BASE + pid * points * 8, points, write_fraction=1.0),
-            ]
-        )
+
+        def build() -> AccessStream:
+            return concat(
+                [
+                    sequential(_GRID_BASE + pid * points * 8, points),
+                    sequential(_RHS_BASE + pid * points * 8, points, write_fraction=1.0),
+                ]
+            )
+
+        stream = self._phase_stream(("rhs", n_procs), pid, points * 8, build)
         return PhaseWork(
             name=f"sp-rhs-p{pid}",
             n_active=n_procs,

@@ -273,6 +273,12 @@ class MachineConfig:
     #: revalidation) is a headline KSR feature; disable for ablation
     #: studies of what the global-wakeup barriers owe to it.
     enable_snarfing: bool = True
+    #: Macro-event batching (:mod:`repro.ring.batch`): coalesce
+    #: contention-free hardware-retry runs into closed-form advances and
+    #: memoize analytic kernel phase pricing.  Off by default; when on,
+    #: every simulated outcome is byte-identical to the per-event path
+    #: (pinned by the batch-equivalence tests) — only wall-clock changes.
+    enable_batching: bool = False
 
     def __post_init__(self) -> None:
         if self.n_cells < 1:
@@ -345,7 +351,13 @@ class MachineConfig:
     # ------------------------------------------------------------------
 
     @staticmethod
-    def ksr1(n_cells: int = 32, *, seed: int = 20130101, timer: TimerConfig | None = None) -> "MachineConfig":
+    def ksr1(
+        n_cells: int = 32,
+        *,
+        seed: int = 20130101,
+        timer: TimerConfig | None = None,
+        enable_batching: bool = False,
+    ) -> "MachineConfig":
         """The published 20 MHz KSR-1 (default: the paper's 32-cell ring).
 
         The ring hop time is chosen so the uncontended remote latency
@@ -383,10 +395,17 @@ class MachineConfig:
             latency=LatencyConfig(),
             timer=timer if timer is not None else TimerConfig(),
             seed=seed,
+            enable_batching=enable_batching,
         )
 
     @staticmethod
-    def ksr2(n_cells: int = 64, *, seed: int = 20130101, timer: TimerConfig | None = None) -> "MachineConfig":
+    def ksr2(
+        n_cells: int = 64,
+        *,
+        seed: int = 20130101,
+        timer: TimerConfig | None = None,
+        enable_batching: bool = False,
+    ) -> "MachineConfig":
         """The 40 MHz KSR-2 (default: the paper's two-ring 64-cell box).
 
         Identical memory system and ring; only the CPU clock doubles.
@@ -394,7 +413,9 @@ class MachineConfig:
         double when expressed in CPU cycles, while the pipeline-coupled
         sub-cache stays at 2 cycles.
         """
-        base = MachineConfig.ksr1(n_cells=32, seed=seed, timer=timer)
+        base = MachineConfig.ksr1(
+            n_cells=32, seed=seed, timer=timer, enable_batching=enable_batching
+        )
         ring = replace(
             base.ring,
             hop_cycles=base.ring.hop_cycles * 2,

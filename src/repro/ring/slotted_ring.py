@@ -225,8 +225,7 @@ class SlottedRing:
         # changes no simulated timing (popped from the end in draw order).
         buf = self._jitter
         if not buf:
-            buf[:] = self.rng.uniform(0.0, self._spacing, size=_JITTER_BATCH).tolist()
-            buf.reverse()
+            self._refill_jitter()
         earliest = now + buf.pop()
         if self.fault_jitter is not None:
             earliest += self.fault_jitter()
@@ -241,6 +240,18 @@ class SlottedRing:
         if self.probe is not None:
             self.probe(self, now, injected - now, completed - injected)
         return injected, completed
+
+    def _refill_jitter(self) -> None:
+        """Refill the batched jitter buffer from this ring's RNG.
+
+        The single refill site, shared with the macro-event layer
+        (:class:`repro.ring.batch.BatchAdvancer`): whichever path
+        empties the buffer draws the next 256 values identically, so
+        batched and per-event runs consume the same stream.
+        """
+        buf = self._jitter
+        buf[:] = self.rng.uniform(0.0, self._spacing, size=_JITTER_BATCH).tolist()
+        buf.reverse()
 
     def piggyback_window(self, grant: RingGrant) -> tuple[float, float]:
         """Time window during which the response packet of ``grant``

@@ -38,6 +38,12 @@ from repro.util.wallclock import perf_counter
 
 __all__ = ["Engine", "EngineStats", "Event"]
 
+#: Shortest meter interval (host seconds) that yields a meaningful
+#: events/sec figure.  A stats snapshot taken after a single event sees
+#: a wall interval of a few timer ticks; dividing by it produces a
+#: nonsense rate in the billions, so anything below this reports 0.0.
+_MIN_METER_SECONDS = 1e-6
+
 # Determinism sinks for `ksr-analyze flow` (KSR110): event scheduling
 # must be a pure function of configuration and the master seed.
 __ksr_flow_sinks__ = ("Engine.schedule", "Engine.schedule_at")
@@ -93,12 +99,19 @@ class EngineStats:
     events_scheduled: int
     #: Host seconds spent inside :meth:`Engine.run` / :meth:`Engine.step`.
     wall_seconds: float
-    #: ``events_fired / wall_seconds`` (0.0 before the first run).
+    #: ``events_fired / wall_seconds`` (0.0 before the first run *and*
+    #: whenever the meter interval is too short to be meaningful — a
+    #: first-event snapshot must not divide by a ~0 interval).
     events_per_sec: float
     #: Current simulation time in cycles.
     sim_time: float
     #: Queued (possibly cancelled) events.
     pending: int
+    #: Subset of ``events_fired`` advanced in closed form by a macro-event
+    #: batcher (:mod:`repro.sim.batch`) instead of heap dispatch.  Always
+    #: 0 without batching; the total above includes these, so event
+    #: budgets and livelock guards see identical counts either way.
+    batched_events: int = 0
 
 
 class Engine:
@@ -118,8 +131,17 @@ class Engine:
         self._now = 0.0
         self._seq = 0
         self._n_fired = 0
+        self._n_batched = 0
         self._wall_s = 0.0
         self._tie_rng: Any = None
+        #: Absolute ``_n_fired`` ceiling while :meth:`_run_guarded` runs
+        #: under an event budget (``None`` = unlimited).  A macro-event
+        #: batcher reads it so closed-form advances respect the budget
+        #: exactly as per-event dispatch would.
+        self._fire_limit: Optional[int] = None
+        #: The active ``until`` horizon while :meth:`_run_guarded` runs
+        #: (``None`` = unbounded); read by the batcher for the same reason.
+        self._active_until: Optional[float] = None
         #: Opt-in observer called with each event just before it fires
         #: (see :mod:`repro.analysis.races`).  ``None`` in normal runs.
         self.audit_hook: Optional[Callable[[Event], None]] = None
@@ -163,7 +185,9 @@ class Engine:
     @property
     def stats(self) -> EngineStats:
         """Throughput snapshot: events fired, wall time, events/sec."""
-        rate = self._n_fired / self._wall_s if self._wall_s > 0 else 0.0
+        rate = (
+            self._n_fired / self._wall_s if self._wall_s >= _MIN_METER_SECONDS else 0.0
+        )
         return EngineStats(
             events_fired=self._n_fired,
             events_scheduled=self._seq,
@@ -171,6 +195,7 @@ class Engine:
             events_per_sec=rate,
             sim_time=self._now,
             pending=len(self._queue),
+            batched_events=self._n_batched,
         )
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
@@ -191,6 +216,36 @@ class Engine:
                 f"cannot schedule at t={time} which is before now={self._now}"
             )
         return self.schedule(time - self._now, callback, *args)
+
+    # ------------------------------------------------------------------
+    # Macro-event batching seams (:mod:`repro.sim.batch`)
+    # ------------------------------------------------------------------
+
+    def _consume_seq(self) -> int:
+        """Take the next sequence number without queueing an event.
+
+        A macro-event batcher advancing a chain in closed form consumes
+        one ``seq`` per virtual schedule, so ``events_scheduled`` and all
+        later FIFO tie-break keys are bit-identical to per-event dispatch.
+        Only valid while same-instant ties are FIFO (the batcher falls
+        back when :meth:`shuffle_same_time_ties` is active).
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        return seq
+
+    def _repush(
+        self, time: float, seq: int, callback: Callable[..., None], args: tuple
+    ) -> Event:
+        """Materialize a virtually-scheduled event under its original key.
+
+        ``seq`` must have come from :meth:`_consume_seq`; the entry gets
+        the exact ``(time, float(seq), seq)`` heap key the per-event path
+        would have given it, so subsequent dispatch order is unchanged.
+        """
+        event = Event(time, seq, callback, args)
+        heapq.heappush(self._queue, (time, event.tie, seq, event))
+        return event
 
     def step(self) -> bool:
         """Fire the next non-cancelled event.  Returns False when idle."""
@@ -246,11 +301,14 @@ class Engine:
         pop = heapq.heappop
         audit = self.audit_hook
         probe = self.probe
-        remaining = -1 if max_events is None else max_events
+        limit = None if max_events is None else self._n_fired + max_events
+        prev_limit, prev_until = self._fire_limit, self._active_until
+        self._fire_limit = limit
+        self._active_until = until
         start = perf_counter()
         try:
             while queue:
-                if remaining == 0:
+                if limit is not None and self._n_fired >= limit:
                     return  # budget exhausted: do not advance to `until`
                 time, _tie, _seq, event = queue[0]
                 if event.cancelled:
@@ -265,7 +323,6 @@ class Engine:
                     )
                 self._now = time
                 self._n_fired += 1
-                remaining -= 1
                 if audit is not None:
                     audit(event)
                 if probe is not None:
@@ -274,4 +331,6 @@ class Engine:
             if until is not None and until > self._now:
                 self._now = until
         finally:
+            self._fire_limit = prev_limit
+            self._active_until = prev_until
             self._wall_s += perf_counter() - start

@@ -169,6 +169,109 @@ class TestKSR103RngConstruction:
         assert _codes(flags) == ["KSR103"]
 
 
+class TestKSR114GrantHeapMutation:
+    def test_heapreplace_on_free_is_flagged(self):
+        violations = _lint(
+            """
+            from heapq import heapreplace
+
+            class Shortcut:
+                def grab(self, item):
+                    heapreplace(self._free, item)
+            """,
+            "ring/patch.py",
+        )
+        assert _codes(violations) == ["KSR114"]
+
+    def test_module_qualified_heapreplace_is_flagged(self):
+        violations = _lint(
+            """
+            import heapq
+
+            def grab(ring, item):
+                heapq.heapreplace(ring._free, item)
+            """,
+            "ring/patch.py",
+        )
+        assert _codes(violations) == ["KSR114"]
+
+    def test_subscripted_heap_is_flagged(self):
+        violations = _lint(
+            """
+            from heapq import heapreplace
+
+            def grab(self, subring, item):
+                heapreplace(self._free[subring], item)
+            """,
+            "ring/patch.py",
+        )
+        assert _codes(violations) == ["KSR114"]
+
+    def test_alias_evasion_is_flagged(self):
+        violations = _lint(
+            """
+            from heapq import heapreplace
+
+            def grab(ring, subring, item):
+                heap = ring._free[subring]
+                heapreplace(heap, item)
+            """,
+            "ring/patch.py",
+        )
+        assert _codes(violations) == ["KSR114"]
+
+    def test_slotted_ring_claim_is_allowed(self):
+        violations = _lint(
+            """
+            from heapq import heapreplace
+
+            class SlottedRing:
+                def _claim(self, item):
+                    heapreplace(self._free, item)
+            """,
+            "ring/slotted_ring.py",
+        )
+        assert violations == []
+
+    def test_batch_advancer_is_allowed(self):
+        violations = _lint(
+            """
+            from heapq import heapreplace
+
+            class BatchAdvancer:
+                def _step(self, ring, item):
+                    heapreplace(ring._free, item)
+            """,
+            "ring/batch.py",
+        )
+        assert violations == []
+
+    def test_other_heaps_pass(self):
+        violations = _lint(
+            """
+            from heapq import heapreplace
+
+            def rotate(queue, item):
+                heapreplace(queue, item)
+            """,
+            "ring/patch.py",
+        )
+        assert violations == []
+
+    def test_claim_outside_slotted_ring_is_flagged(self):
+        violations = _lint(
+            """
+            from heapq import heapreplace
+
+            class Imposter:
+                def _claim(self, item):
+                    heapreplace(self._free, item)
+            """,
+            "ring/patch.py",
+        )
+        assert _codes(violations) == ["KSR114"]
+
+
 class TestTreeAndReport:
     def test_real_tree_is_clean(self):
         assert lint_paths() == []

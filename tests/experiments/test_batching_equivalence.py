@@ -1,0 +1,177 @@
+"""Batch-on vs batch-off equivalence on the paper's figure workloads.
+
+The macro-event core must be invisible in every result the experiments
+produce: figure points, observability captures (compared as pickled
+bytes — the strongest equality the obs layer offers) and degraded-mode
+campaigns.  A Hypothesis sweep over random small workloads backs the
+hand-picked points.
+"""
+
+import pickle
+
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.barriers import measure_barrier
+from repro.experiments.degraded import degraded_lock_point
+from repro.experiments.latency import measure_latencies
+from repro.experiments.locks import measure_lock
+from repro.faults import FaultInjector, FaultPlan
+from repro.machine.api import SharedMemory
+from repro.machine.config import MachineConfig, TimerConfig
+from repro.machine.ksr import KsrMachine
+from repro.obs import ObsSpec
+from repro.sync.locks import (
+    HardwareExclusiveLock,
+    LockWorkloadParams,
+    TicketReadWriteLock,
+    run_lock_workload,
+)
+
+
+class TestFigurePoints:
+    """One representative point per figure, captures compared as bytes."""
+
+    def test_fig2_latency_point(self):
+        off, cap_off = measure_latencies(4, "network", "read", samples=40, obs=ObsSpec())
+        on, cap_on = measure_latencies(
+            4, "network", "read", samples=40, obs=ObsSpec(), batching=True
+        )
+        assert on == off
+        assert pickle.dumps(cap_on) == pickle.dumps(cap_off)
+
+    def test_fig3_lock_point(self):
+        off, cap_off = measure_lock("hardware", 8, 0.0, ops=6, obs=ObsSpec())
+        on, cap_on = measure_lock(
+            "hardware", 8, 0.0, ops=6, obs=ObsSpec(), batching=True
+        )
+        assert on == off
+        assert pickle.dumps(cap_on) == pickle.dumps(cap_off)
+
+    def test_fig3_rw_lock_point(self):
+        off, cap_off = measure_lock("rw", 6, 0.4, ops=6, obs=ObsSpec())
+        on, cap_on = measure_lock("rw", 6, 0.4, ops=6, obs=ObsSpec(), batching=True)
+        assert on == off
+        assert pickle.dumps(cap_on) == pickle.dumps(cap_off)
+
+    def test_fig4_barrier_point(self):
+        def point(batching: bool):
+            config = MachineConfig.ksr1(
+                n_cells=8,
+                seed=404,
+                timer=TimerConfig(enabled=False),
+                enable_batching=batching,
+            )
+            return measure_barrier(
+                "counter", 8, machine_config=config, reps=4, obs=ObsSpec()
+            )
+
+        off, cap_off = point(False)
+        on, cap_on = point(True)
+        assert on == off
+        assert pickle.dumps(cap_on) == pickle.dumps(cap_off)
+
+    def test_fig5_two_ring_barrier_point(self):
+        def point(batching: bool):
+            config = MachineConfig.ksr2(
+                n_cells=36,
+                seed=404,
+                timer=TimerConfig(enabled=False),
+                enable_batching=batching,
+            )
+            return measure_barrier(
+                "tree", 34, machine_config=config, reps=3, obs=ObsSpec()
+            )
+
+        off, cap_off = point(False)
+        on, cap_on = point(True)
+        assert on == off
+        assert pickle.dumps(cap_on) == pickle.dumps(cap_off)
+
+
+class TestDegradedCampaign:
+    """F1 degraded points: fault seams force the per-event path, and the
+    result is identical either way."""
+
+    def test_f1_zero_plan_point(self):
+        off = degraded_lock_point("rw", 6, 0.2, ops=5, obs=ObsSpec())
+        on = degraded_lock_point("rw", 6, 0.2, ops=5, obs=ObsSpec(), batching=True)
+        assert on.seconds == off.seconds
+        assert on.faults == off.faults
+        assert pickle.dumps(on.capture) == pickle.dumps(off.capture)
+
+    def test_f1_faulted_point(self):
+        plan = FaultPlan(corruption_rate=0.02, stall_rate=2e-6, seed_salt=3)
+        off = degraded_lock_point("rw", 6, 0.2, ops=5, plan=plan, obs=ObsSpec())
+        on = degraded_lock_point(
+            "rw", 6, 0.2, ops=5, plan=plan, obs=ObsSpec(), batching=True
+        )
+        assert on.seconds == off.seconds
+        assert on.faults == off.faults
+        assert pickle.dumps(on.capture) == pickle.dumps(off.capture)
+
+    def test_f1_dead_cell_point(self):
+        plan = FaultPlan(dead_cells=(7,))
+        off = degraded_lock_point("hardware", 4, 0.0, ops=5, plan=plan)
+        on = degraded_lock_point("hardware", 4, 0.0, ops=5, plan=plan, batching=True)
+        assert on.seconds == off.seconds
+        assert on.faults == off.faults
+
+
+def _run_history(
+    n_procs: int,
+    ops: int,
+    seed: int,
+    read_fraction: float,
+    plan: FaultPlan | None,
+    batching: bool,
+) -> tuple:
+    machine = KsrMachine(
+        MachineConfig.ksr1(n_cells=n_procs, seed=seed, enable_batching=batching)
+    )
+    if plan is not None:
+        FaultInjector(plan).attach(machine)
+    history: list[float] = []
+    machine.engine.probe = history.append
+    mem = SharedMemory(machine)
+    lock = TicketReadWriteLock(mem) if read_fraction else HardwareExclusiveLock(mem)
+    params = LockWorkloadParams(
+        ops_per_processor=ops, read_fraction=read_fraction, seed=seed
+    )
+    result = run_lock_workload(machine, lock, params, n_threads=n_procs)
+    return (
+        tuple(history),
+        result.total_seconds,
+        machine.engine.now,
+        tuple(sorted(machine.total_perf().snapshot().items())),
+        machine.engine.stats.events_fired,
+    )
+
+
+class TestPropertyEquivalence:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        n_procs=st.integers(min_value=2, max_value=8),
+        ops=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**16),
+        read_fraction=st.sampled_from([0.0, 0.5]),
+    )
+    def test_random_workloads_identical(self, n_procs, ops, seed, read_fraction):
+        off = _run_history(n_procs, ops, seed, read_fraction, None, False)
+        on = _run_history(n_procs, ops, seed, read_fraction, None, True)
+        assert on == off
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        n_procs=st.integers(min_value=2, max_value=6),
+        ops=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**16),
+        corruption=st.sampled_from([0.0, 0.05]),
+        stall=st.sampled_from([0.0, 5e-6]),
+    )
+    def test_random_faulted_workloads_identical(
+        self, n_procs, ops, seed, corruption, stall
+    ):
+        plan = FaultPlan(corruption_rate=corruption, stall_rate=stall, seed_salt=seed % 7)
+        off = _run_history(n_procs, ops, seed, 0.0, plan, False)
+        on = _run_history(n_procs, ops, seed, 0.0, plan, True)
+        assert on == off
