@@ -10,6 +10,10 @@ Examples::
     ksr-analyze flow --strict            # whole-program dataflow, CI mode
     ksr-analyze flow lint --format sarif --output report.sarif
     ksr-analyze flow --write-baseline    # accept current findings
+    ksr-analyze scenarios                # enumerate + sampled differential runs
+    ksr-analyze scenarios --mode run --jobs 4   # execute the full corpus
+    ksr-analyze scenarios --check        # replay the committed manifest (CI)
+    ksr-analyze scenarios --write-manifest      # pin the current corpus
 
 Every pass reports through the same :class:`Finding` pipeline, so any
 selection of passes renders as ``text``, ``json`` or ``sarif`` and
@@ -23,6 +27,7 @@ remain (or, under ``--strict``, when baseline entries went stale),
 
 from __future__ import annotations
 
+import json
 import sys
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -166,6 +171,162 @@ def _run_flow(args) -> PassResult:
     return PassResult(report.ok, header, findings=report.findings, stats=report.passes)
 
 
+def _scenario_finding(rule: str, message: str, snippet: str, detail: dict):
+    from repro.analysis.flow.findings import Finding
+
+    return Finding(
+        rule=rule,
+        path="coherence/protocol.py" if rule == "KSR120" else "analysis/scenarios",
+        line=1,
+        col=0,
+        message=message,
+        snippet=snippet,
+        detail=detail,
+    )
+
+
+def _run_scenarios(args) -> PassResult:
+    from pathlib import Path as _Path
+
+    from repro.analysis.scenarios import (
+        DEFAULT_MANIFEST,
+        HAND_WRITTEN_GRID_POINTS,
+        ScenarioModel,
+        build_manifest,
+        certify_extraction,
+        check_manifest,
+        corpus_document,
+        enumerate_classes,
+        load_manifest,
+        run_corpus,
+        sample_classes,
+        write_manifest,
+    )
+
+    lines: list[str] = []
+    findings: list = []
+    stats: dict[str, Any] = {}
+
+    # The enumeration is only trustworthy while the per-subpage model
+    # is certified against the protocol source (KSR113 extraction).
+    cert_findings, cert_stats = certify_extraction()
+    findings.extend(cert_findings)
+    lines.append(
+        f"scenarios[extraction]: {'OK' if not cert_findings else 'FAIL'} — "
+        f"model certified against coherence/protocol.py "
+        f"({cert_stats.get('valuations_agreeing', 0)}/"
+        f"{cert_stats.get('valuations_checked', 0)} valuations)"
+    )
+    stats["extraction"] = cert_stats
+
+    manifest_path = _Path(args.manifest) if args.manifest else _Path.cwd() / DEFAULT_MANIFEST
+
+    if args.write_manifest:
+        manifest = build_manifest(seed=args.seed, sample_per_config=args.sample)
+        write_manifest(manifest_path, manifest)
+        total = sum(c["n_classes"] for c in manifest["configs"])
+        lines.append(
+            f"scenarios[manifest]: pinned {len(manifest['configs'])} config(s), "
+            f"{total} classes to {manifest_path}"
+        )
+        return PassResult(not findings, "\n".join(lines), findings=findings, stats=stats)
+
+    if args.check:
+        manifest = load_manifest(manifest_path)
+        report = check_manifest(manifest, jobs=args.jobs)
+        for kind, message, detail in report.problems:
+            findings.append(
+                _scenario_finding(
+                    "KSR121" if kind == "drift" else "KSR120",
+                    message,
+                    snippet=str(detail.get("key", detail.get("config", ""))),
+                    detail=detail,
+                )
+            )
+        lines.append(
+            f"scenarios[check]: {'OK' if report.ok else 'FAIL'} — "
+            f"{len(manifest['configs'])} config(s), {report.n_classes} classes, "
+            f"{report.n_executed} pinned representative(s) replayed, "
+            f"{len(report.problems)} problem(s)"
+        )
+        stats["check"] = {
+            "n_classes": report.n_classes,
+            "n_executed": report.n_executed,
+            "n_problems": len(report.problems),
+        }
+        if args.corpus:
+            enums = [
+                enumerate_classes(
+                    ScenarioModel(c["n_cells"], c["n_subpages"]), c["depth"]
+                )
+                for c in manifest["configs"]
+            ]
+            _Path(args.corpus).write_text(
+                json.dumps(corpus_document(enums), indent=2) + "\n", encoding="utf-8"
+            )
+            lines.append(f"scenarios[corpus]: wrote {args.corpus}")
+        return PassResult(not findings, "\n".join(lines), findings=findings, stats=stats)
+
+    enums = []
+    for n_cells in args.cells:
+        for n_subpages in args.subpages:
+            enum = enumerate_classes(ScenarioModel(n_cells, n_subpages), args.depth)
+            enums.append(enum)
+            lines.append(
+                f"scenarios[{n_cells}c/{n_subpages}sp/depth {enum.depth}]: "
+                f"{len(enum.classes)} classes from {enum.n_schedules} canonical "
+                f"schedules (digest {enum.digest()})"
+            )
+    total = sum(len(e.classes) for e in enums)
+    lines.append(
+        f"scenarios[coverage]: {total} distinct executable scenarios vs "
+        f"{HAND_WRITTEN_GRID_POINTS} hand-written litmus grid points "
+        f"({total / HAND_WRITTEN_GRID_POINTS:.1f}x)"
+    )
+    stats["enumerate"] = {
+        "configs": [[e.n_cells, e.n_subpages, e.depth, len(e.classes)] for e in enums],
+        "n_classes": total,
+    }
+
+    run = None
+    if args.mode == "run":
+        run = run_corpus(enums, jobs=args.jobs, seed=args.seed)
+    elif args.mode == "stats":
+        run = run_corpus(
+            enums,
+            jobs=args.jobs,
+            seed=args.seed,
+            classes_for=lambda e: sample_classes(e, args.sample, args.seed),
+        )
+    if run is not None:
+        for config, key, verdict in run.failures:
+            kinds = ", ".join(k for k, _m in verdict["divergences"])
+            findings.append(
+                _scenario_finding(
+                    "KSR120",
+                    f"config {config}: class {key} diverged ({kinds})",
+                    snippet=repr(verdict["schedule"]),
+                    detail={"config": list(config), "key": key, "verdict": verdict},
+                )
+            )
+        lines.append(
+            f"scenarios[differential]: {'OK' if run.ok else 'FAIL'} — "
+            f"{run.n_executed} representative(s) executed, "
+            f"{run.n_divergent} divergence(s)"
+        )
+        stats["differential"] = {
+            "n_executed": run.n_executed,
+            "n_divergent": run.n_divergent,
+        }
+    if args.corpus:
+        _Path(args.corpus).write_text(
+            json.dumps(corpus_document(enums, run=run), indent=2) + "\n",
+            encoding="utf-8",
+        )
+        lines.append(f"scenarios[corpus]: wrote {args.corpus}")
+    return PassResult(not findings, "\n".join(lines), findings=findings, stats=stats)
+
+
 PASSES = {
     "modelcheck": ("Exhaustive ALLCACHE protocol state-space check", _run_modelcheck),
     "races": ("DES same-instant conflict audit + tie-break perturbation", _run_races),
@@ -174,6 +335,11 @@ PASSES = {
         "Whole-program dataflow: determinism, cache-key purity, protocol "
         "conformance (KSR110–113)",
         _run_flow,
+    ),
+    "scenarios": (
+        "Symbolic scenario corpus: enumerate interleavings, differential "
+        "model-vs-simulator runs (KSR120–121)",
+        _run_scenarios,
     ),
 }
 
@@ -212,6 +378,73 @@ def main(argv: list[str] | None = None) -> int:
         default=4,
         metavar="N",
         help="shuffled tie-break runs for the perturbation check (default: 4)",
+    )
+    parser.add_argument(
+        "--subpages",
+        type=int,
+        nargs="+",
+        default=[1, 2],
+        metavar="N",
+        help="subpage counts for the scenarios pass (default: 1 2)",
+    )
+    parser.add_argument(
+        "--depth",
+        type=int,
+        default=4,
+        metavar="N",
+        help="interleaving bound for the scenarios pass (default: 4)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=1,
+        metavar="N",
+        help="machine seed / sample offset for scenario execution (default: 1)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="sweep-runner worker processes for corpus execution (default: 1)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("enumerate", "stats", "run"),
+        default="stats",
+        help="scenarios pass: enumerate only, execute a sample (stats), "
+        "or execute every class representative (run)",
+    )
+    parser.add_argument(
+        "--sample",
+        type=int,
+        default=25,
+        metavar="N",
+        help="representatives executed per config in stats mode, and "
+        "pinned per config by --write-manifest (default: 25)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="scenarios pass: replay the committed corpus manifest and "
+        "fail on class drift or divergence (CI mode)",
+    )
+    parser.add_argument(
+        "--manifest",
+        metavar="FILE",
+        default=None,
+        help="scenario corpus manifest (default: .ksr-scenario-manifest.json)",
+    )
+    parser.add_argument(
+        "--corpus",
+        metavar="FILE",
+        default=None,
+        help="also write the enumerated corpus as JSON to FILE",
+    )
+    parser.add_argument(
+        "--write-manifest",
+        action="store_true",
+        help="pin the default corpus grid into the manifest and exit",
     )
     parser.add_argument(
         "--format",

@@ -33,7 +33,7 @@ __all__ = [
     "findings_to_sarif",
 ]
 
-#: The full rule catalog (DESIGN §12).  KSR104–109 are reserved.
+#: The full rule catalog (DESIGN §12–§13).  KSR104–109 are reserved.
 RULES: dict[str, str] = {
     "KSR100": "simulator code must not import wall-clock or stdlib randomness",
     "KSR101": "coherence state is mutated only by the protocol",
@@ -43,6 +43,8 @@ RULES: dict[str, str] = {
     "KSR111": "coherence state mutated through an alias outside the protocol",
     "KSR112": "cache-key argument type lacks a stable repr or cache_token",
     "KSR113": "protocol transition relation deviates from the abstract model",
+    "KSR120": "generated scenario diverged from the symbolic protocol model",
+    "KSR121": "scenario corpus drifted from the committed manifest",
 }
 
 

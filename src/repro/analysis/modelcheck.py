@@ -436,12 +436,64 @@ class ModelChecker:
                             "the abstract model is broken"
                         )
         non_drainable = self._non_drainable(edges)
+        for stuck in non_drainable:
+            # Quiescence failures carry the same counterexample context
+            # as transition violations: the witness path that reaches
+            # the wedged state (there is, by definition, no drain path
+            # to show).
+            violations.append(
+                Violation(
+                    stuck,
+                    None,
+                    "no drain path to quiescence: every reachable successor "
+                    "keeps an ATOMIC holder",
+                    self._trace(parents, stuck),
+                )
+            )
         return ModelCheckResult(
             n_cells=self.n_cells,
             n_states=len(parents),
             n_transitions=n_transitions,
             violations=violations,
             non_drainable=non_drainable,
+        )
+
+    def drain_path(self, state: ModelState) -> tuple[Action, ...]:
+        """Shortest witness path from ``state`` to a quiescent state.
+
+        The quiescence invariant only proves such a path *exists*; this
+        surfaces it, so callers (scenario lowering, counterexample
+        display) can actually terminate a run in a drained state.
+        Raises :class:`InvariantViolation` naming the wedged state when
+        no drain path exists.
+        """
+        model = self.model
+        if model.quiescent(state):
+            return ()
+        seen: set[ModelState] = {state}
+        queue: deque[tuple[ModelState, tuple[Action, ...]]] = deque([(state, ())])
+        while queue:
+            cursor, path = queue.popleft()
+            for action in model.enabled(cursor):
+                try:
+                    new = model.apply(cursor, action)
+                except (InvariantViolation, ProtocolError):
+                    continue
+                if new in seen:
+                    continue
+                witness = path + (action,)
+                if model.quiescent(new):
+                    return witness
+                seen.add(new)
+                queue.append((new, witness))
+                if len(seen) > self.MAX_STATES:
+                    raise ConfigError(
+                        f"drain search exceeded {self.MAX_STATES} states; "
+                        "the abstract model is broken"
+                    )
+        raise InvariantViolation(
+            f"state {state} cannot drain to quiescence: no enabled action "
+            "sequence releases the ATOMIC holder"
         )
 
     @staticmethod

@@ -135,3 +135,81 @@ class TestFlowPassAndFormats:
         bad.write_text("{not json")
         assert main(["lint", "--baseline", str(bad)]) == 2
         assert "unreadable baseline" in capsys.readouterr().err
+
+
+class TestScenariosPass:
+    """The symbolic scenario corpus pass (KSR120–121)."""
+
+    def test_enumerate_mode_reports_coverage(self, capsys):
+        assert main(
+            ["scenarios", "--mode", "enumerate", "--cells", "2",
+             "--subpages", "1", "--depth", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scenarios[extraction]: OK" in out
+        assert "scenarios[2c/1sp/depth 3]: 43 classes" in out
+        assert "scenarios[coverage]:" in out
+        assert "scenarios[differential]" not in out
+
+    def test_stats_mode_executes_a_sample(self, capsys):
+        assert main(
+            ["scenarios", "--cells", "2", "--subpages", "1",
+             "--depth", "3", "--sample", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scenarios[differential]: OK — 5 representative(s) executed" in out
+
+    def test_run_mode_executes_every_class(self, capsys):
+        assert main(
+            ["scenarios", "--mode", "run", "--cells", "2",
+             "--subpages", "1", "--depth", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scenarios[differential]: OK — 43 representative(s) executed" in out
+        assert "0 divergence(s)" in out
+
+    def test_corpus_artifact_is_written(self, tmp_path, capsys):
+        import json
+
+        corpus = tmp_path / "corpus.json"
+        assert main(
+            ["scenarios", "--mode", "enumerate", "--cells", "2",
+             "--subpages", "1", "--depth", "2", "--corpus", str(corpus)]
+        ) == 0
+        assert "scenarios[corpus]: wrote" in capsys.readouterr().out
+        doc = json.loads(corpus.read_text())
+        assert doc["configs"][0]["n_classes"] == len(doc["configs"][0]["classes"])
+
+    def test_manifest_round_trip_via_cli(self, tmp_path, capsys):
+        manifest = tmp_path / "manifest.json"
+        assert main(
+            ["scenarios", "--write-manifest", "--manifest", str(manifest),
+             "--sample", "2"]
+        ) == 0
+        assert "scenarios[manifest]: pinned" in capsys.readouterr().out
+        assert main(["scenarios", "--check", "--manifest", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "scenarios[check]: OK" in out
+
+    def test_tampered_manifest_fails_check_with_ksr121(self, tmp_path, capsys):
+        import json
+
+        manifest = tmp_path / "manifest.json"
+        assert main(
+            ["scenarios", "--write-manifest", "--manifest", str(manifest),
+             "--sample", "2"]
+        ) == 0
+        capsys.readouterr()
+        doc = json.loads(manifest.read_text())
+        doc["configs"][0]["n_classes"] += 1
+        manifest.write_text(json.dumps(doc))
+        assert main(["scenarios", "--check", "--manifest", str(manifest)]) == 1
+        out = capsys.readouterr().out
+        assert "KSR121" in out and "scenarios[check]: FAIL" in out
+
+    def test_missing_manifest_is_a_clean_error(self, tmp_path, capsys):
+        assert main(
+            ["scenarios", "--check", "--manifest", str(tmp_path / "none.json")]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "manifest" in err and "Traceback" not in err

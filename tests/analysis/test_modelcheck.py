@@ -139,3 +139,48 @@ class TestBrokenModelsAreCaught:
         result = ModelChecker(2, model=_SkipsInvalidation(2)).run()
         text = "\n".join(str(v) for v in result.violations)
         assert "sharers" in text or "stale" in text
+
+
+class _NeverReleases(CoherenceModel):
+    """Broken: release_subpage is disabled, so ATOMIC never drains."""
+
+    def enabled(self, state):
+        return [a for a in super().enabled(state) if a[0] != "rsp"]
+
+
+class TestDrainPath:
+    def test_quiescent_state_needs_no_drain(self):
+        checker = ModelChecker(2)
+        assert checker.drain_path(checker.model.initial()) == ()
+
+    def test_atomic_holder_drains_by_releasing(self):
+        checker = ModelChecker(2)
+        state = checker.model.apply(checker.model.initial(), ("gsp", 0))
+        assert checker.drain_path(state) == (("rsp", 0),)
+
+    def test_witness_actually_reaches_quiescence(self):
+        checker = ModelChecker(3)
+        model = checker.model
+        state = model.initial()
+        for action in (("read", 0), ("read", 1), ("gsp", 2)):
+            state = model.apply(state, action)
+        path = checker.drain_path(state)
+        assert path
+        for action in path:
+            state = model.apply(state, action)
+        assert model.quiescent(state)
+
+    def test_wedged_state_raises_with_the_wedge_named(self):
+        checker = ModelChecker(2, model=_NeverReleases(2))
+        state = checker.model.apply(checker.model.initial(), ("gsp", 0))
+        with pytest.raises(InvariantViolation, match="cannot drain"):
+            checker.drain_path(state)
+
+    def test_non_drainable_states_surface_as_violations_with_traces(self):
+        result = ModelChecker(2, model=_NeverReleases(2)).run()
+        assert result.non_drainable
+        stuck = [v for v in result.violations if "no drain path" in v.message]
+        assert len(stuck) == len(result.non_drainable)
+        # the witness context is the path *into* the wedged state
+        assert all(v.trace for v in stuck)
+        assert all(v.action is None for v in stuck)

@@ -99,3 +99,89 @@ class TestValidation:
     def test_negative_skew(self):
         with pytest.raises(ConfigError):
             run_mp(skews=(-1, 0))
+
+
+class TestLitmusAsData:
+    """The generalized data form (LitmusTest) behind the named runners."""
+
+    def test_structure_of_the_ported_tests(self):
+        from repro.coherence.litmus import IRIW, LB, MP, SB
+
+        assert SB.n_cells == MP.n_cells == LB.n_cells == 2
+        assert IRIW.n_cells == 4
+        assert SB.reading_threads() == [0, 1]
+        assert MP.reading_threads() == [1]
+        assert IRIW.reading_threads() == [2, 3]
+        assert (1, 1) in LB.forbidden and ((1, 0), (1, 0)) in IRIW.forbidden
+
+    def test_run_litmus_matches_the_named_runner(self):
+        from repro.coherence.litmus import MP, run_litmus
+
+        direct = run_litmus(MP, skews=(0, 5000))
+        named = run_mp(skews=(0, 5000))
+        assert (direct.observed, direct.forbidden) == (named.observed, named.forbidden)
+        assert direct.name == "MP"
+
+    def test_single_reader_observation_is_unwrapped(self):
+        from repro.coherence.litmus import MP, run_litmus
+
+        outcome = run_litmus(MP, skews=(0, 5000))
+        assert outcome.observed == (1, 42)  # flat, not ((1, 42),)
+
+    def test_skew_arity_checked_against_thread_count(self):
+        from repro.coherence.litmus import IRIW, run_litmus
+
+        with pytest.raises(ConfigError):
+            run_litmus(IRIW, skews=(0, 0))
+
+
+class TestRunSchedule:
+    """Step-at-a-time schedule execution (the scenario lowering target)."""
+
+    def test_write_then_read_round_trip(self):
+        from repro.coherence.litmus import run_schedule
+
+        outcome = run_schedule(
+            [("write", 0, 0, 7), ("read", 1, 0)], n_cells=2, n_vars=1
+        )
+        assert outcome.completed
+        assert outcome.observations == ((1, 7),)
+        assert outcome.memory == (7,)
+        assert outcome.created == (True,)
+        # both sides SHARED after the migratory read
+        assert outcome.directory_states == (("SHARED", "SHARED"),)
+        assert outcome.cache_states == outcome.directory_states
+
+    def test_gsp_blocks_other_cells_until_released(self):
+        from repro.coherence.litmus import run_schedule
+
+        outcome = run_schedule(
+            [("gsp", 0, 0), ("write", 1, 0, 9)],
+            n_cells=2,
+            n_vars=1,
+            step_max_events=2_000,
+        )
+        assert not outcome.completed
+        assert "step 1" in outcome.diagnostics
+
+    def test_gsp_release_drains_to_exclusive(self):
+        from repro.coherence.litmus import run_schedule
+
+        outcome = run_schedule(
+            [("gsp", 0, 0), ("rsp", 0, 0)], n_cells=2, n_vars=1
+        )
+        assert outcome.completed
+        assert outcome.directory_states == (("EXCLUSIVE", None),)
+
+    def test_subpages_are_independent(self):
+        from repro.coherence.litmus import run_schedule
+
+        outcome = run_schedule(
+            [("write", 0, 0, 3), ("write", 1, 1, 4)], n_cells=2, n_vars=2
+        )
+        assert outcome.completed
+        assert outcome.memory == (3, 4)
+        assert outcome.directory_states == (
+            ("EXCLUSIVE", None),
+            (None, "EXCLUSIVE"),
+        )
