@@ -16,6 +16,9 @@ package turns that substrate into a *service* (``ksr-serve``):
   reject-with-retry-after overload behaviour.
 * :mod:`repro.service.app` / :mod:`repro.service.cli` — the HTTP/JSON
   surface and the ``ksr-serve`` command line.
+* :mod:`repro.service.fleet` — the federated tier: coordinator +
+  worker fleet with consistent-hash routing, cache replication,
+  per-tenant fair-share admission and the ``--loadgen`` harness.
 
 Responses are byte-identical to the equivalent ``ksr-experiments`` /
 ``ksr-faults`` output: serving changes *where* points compute, never

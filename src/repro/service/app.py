@@ -26,6 +26,7 @@ check asserts its ≥95%-hits-on-resubmit property against.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
@@ -35,10 +36,31 @@ from repro.service.cache2 import ShardedResultCache
 from repro.service.jobs import JobSpec, ServiceError, describe_catalog
 from repro.service.scheduler import RejectedError, Scheduler
 
-__all__ = ["ServiceApp", "make_server"]
+__all__ = ["ServiceApp", "make_server", "version_info"]
 
 #: Longest a ``"wait": true`` submission may block the handler thread.
 MAX_WAIT_SECONDS = 600.0
+
+_version_info: dict[str, str] | None = None
+
+
+def version_info() -> dict[str, str]:
+    """What code this server runs: the cache-keying identity.
+
+    ``code`` is :func:`repro.experiments.sweep.code_version` — the hash
+    every cache key embeds — and ``model`` is the scenario-model
+    semantic version folded into it.  A fleet coordinator refuses to
+    route to a worker whose version differs: its shard could never
+    serve this coordinator's keys, only recompute them under a key the
+    coordinator would not find again.
+    """
+    global _version_info
+    if _version_info is None:
+        from repro.analysis.scenarios.model import MODEL_VERSION
+        from repro.experiments.sweep import code_version
+
+        _version_info = {"code": code_version(), "model": MODEL_VERSION}
+    return _version_info
 
 
 class ServiceApp:
@@ -65,10 +87,33 @@ class ServiceApp:
             max_batch=max_batch,
         )
         self.started_at = time.time()
+        self._closing = threading.Event()
 
-    def close(self) -> None:
-        """Drain the scheduler's workers and release the backend."""
-        self.scheduler.close()
+    @property
+    def closing(self) -> bool:
+        """Whether the app has begun its shutdown sequence (503s)."""
+        return self._closing.is_set()
+
+    def begin_shutdown(self) -> None:
+        """Stop admitting: every later submission is answered 503."""
+        self._closing.set()
+
+    def close(self, *, drain_deadline: float = 30.0) -> int:
+        """Graceful shutdown: stop admitting, drain, flush, release.
+
+        Admission is cut first (503), accepted jobs get up to
+        ``drain_deadline`` seconds to settle, the cache's manifest
+        journal is compacted to one line per live entry, and the
+        backend is released.  Returns the number of jobs stranded by
+        the deadline (0 on a clean exit).
+        """
+        self.begin_shutdown()
+        stranded = self.scheduler.close(deadline=drain_deadline)
+        try:
+            self.cache.compact_manifest()
+        except OSError:  # pragma: no cover - advisory index only
+            pass
+        return stranded
 
     # -- request handling (pure: dict in, (status, doc, headers) out) --
 
@@ -76,13 +121,16 @@ class ServiceApp:
         """Route a GET ``path`` to ``(status, json_doc)``."""
         if path == "/healthz":
             return 200, {
-                "status": "ok",
+                "status": "draining" if self.closing else "ok",
                 "uptime_s": round(time.time() - self.started_at, 3),
+                "cache": self.cache.stats(),
+                "version": version_info(),
             }
         if path == "/v1/stats":
             return 200, {
                 "cache": self.cache.stats(),
                 "scheduler": self.scheduler.stats(),
+                "version": version_info(),
             }
         if path == "/v1/experiments":
             return 200, describe_catalog()
@@ -100,7 +148,16 @@ class ServiceApp:
 
         202 queued, 200 done (``wait: true``), 4xx on bad/oversized/
         rejected submissions — 429 carries a ``Retry-After`` header.
+        A draining server answers 503: the client should resubmit to a
+        live replica (or wait out the restart), not queue behind a
+        deadline-bounded drain.
         """
+        if self.closing:
+            return (
+                503,
+                {"error": "server is draining; resubmit elsewhere"},
+                {"Retry-After": "5"},
+            )
         try:
             spec = JobSpec.from_request(body)
             job = self.scheduler.submit(spec)
@@ -164,9 +221,16 @@ class _Handler(BaseHTTPRequestHandler):
         self._reply(status, doc, headers)
 
 
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    # The stdlib default listen backlog (5) resets connections the
+    # moment hundreds of closed-loop clients connect at once; size it
+    # for the --loadgen concurrency instead.
+    request_queue_size = 1024
+
+
 def make_server(
     app: ServiceApp, host: str = "127.0.0.1", port: int = 0, *, verbose: bool = False
 ) -> ThreadingHTTPServer:
     """Bind ``app`` to a threading HTTP server (``port=0``: ephemeral)."""
     handler = type("KsrServeHandler", (_Handler,), {"app": app, "verbose": verbose})
-    return ThreadingHTTPServer((host, port), handler)
+    return _ServiceHTTPServer((host, port), handler)

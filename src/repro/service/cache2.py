@@ -36,7 +36,7 @@ import pickle
 import threading
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 __all__ = ["ShardedResultCache", "CACHE_FORMAT_VERSION"]
 
@@ -71,6 +71,15 @@ class ShardedResultCache:
         self.misses = 0
         self.corrupt = 0
         self.evictions = 0
+        #: Misses served by :attr:`remote_fetch` (fleet read-through).
+        self.remote_hits = 0
+        #: Remote read-through seam.  When set (the fleet worker wires
+        #: it to its replica peers), a local miss consults this callable
+        #: — ``key -> (hit, value)`` — before being counted as a miss;
+        #: a remote hit is adopted into the local shard so the key is
+        #: served locally from then on.  ``None`` (the default) keeps
+        #: single-daemon behaviour bit-identical.
+        self.remote_fetch: Callable[[str], tuple[bool, Any]] | None = None
         self._lock = threading.Lock()
         #: Active pin sessions: owning thread id -> stack of key sets.
         #: Attribution is thread-local: the scheduler runs one job per
@@ -155,7 +164,13 @@ class ShardedResultCache:
     # -- load/store (SweepRunner contract) ----------------------------
 
     def load(self, key: str) -> tuple[bool, Any]:
-        """Return ``(hit, value)``; corrupt entries are counted+dropped."""
+        """Return ``(hit, value)``; corrupt entries are counted+dropped.
+
+        A local miss consults :attr:`remote_fetch` (when wired): a
+        remote hit is stored locally, counted in :attr:`remote_hits`
+        *and* :attr:`hits` (the point was cache-served, just not by
+        this shard yet), and returned as a hit.
+        """
         self._note_touch(key)
         path = self._path(key)
         try:
@@ -163,18 +178,15 @@ class ShardedResultCache:
                 entry = pickle.load(fh)
             value = entry["value"]
         except FileNotFoundError:
-            with self._lock:
-                self.misses += 1
-            return False, None
+            return self._remote_or_miss(key)
         except (OSError, pickle.PickleError, EOFError, KeyError, AttributeError):
             with self._lock:
-                self.misses += 1
                 self.corrupt += 1
             try:
                 path.unlink(missing_ok=True)
             except OSError:  # pragma: no cover
                 pass
-            return False, None
+            return self._remote_or_miss(key, count_miss_anyway=True)
         with self._lock:
             self.hits += 1
         try:
@@ -182,6 +194,60 @@ class ShardedResultCache:
         except OSError:  # pragma: no cover
             pass
         return True, value
+
+    def _remote_or_miss(
+        self, key: str, *, count_miss_anyway: bool = False
+    ) -> tuple[bool, Any]:
+        """Resolve a local miss through the remote seam, else count it."""
+        fetch = self.remote_fetch
+        if fetch is not None:
+            try:
+                hit, value = fetch(key)
+            except Exception:  # noqa: BLE001 - a sick peer degrades to a miss
+                hit, value = False, None
+            if hit:
+                with self._lock:
+                    self.remote_hits += 1
+                    self.hits += 1
+                    if count_miss_anyway:
+                        self.misses += 1
+                self.store(key, value, meta={"func": "", "origin": "read-through"})
+                return True, value
+        with self._lock:
+            self.misses += 1
+        return False, None
+
+    def peek(self, key: str) -> tuple[bool, Any, dict[str, Any]]:
+        """Local-only read of ``(hit, value, meta)`` for fleet peers.
+
+        No counters move and :attr:`remote_fetch` is *not* consulted —
+        this is what a worker answers when a peer read-throughs to it,
+        so two workers missing the same key can never ping-pong.  A
+        readable entry still bumps LRU recency (a replica serve is a
+        use).
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                entry = pickle.load(fh)
+            value, meta = entry["value"], entry.get("meta", {})
+        except FileNotFoundError:
+            return False, None, {}
+        except (OSError, pickle.PickleError, EOFError, KeyError, AttributeError):
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover
+                pass
+            return False, None, {}
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover
+            pass
+        return True, value, meta
+
+    def contains(self, key: str) -> bool:
+        """Whether ``key`` is resident locally (no counters, no remote)."""
+        return self._path(key).exists()
 
     def store(self, key: str, value: Any, *, meta: dict[str, Any] | None = None) -> None:
         """Persist one entry atomically, journal it, enforce the cap."""
@@ -224,6 +290,10 @@ class ShardedResultCache:
     def entry_count(self) -> int:
         """Number of entries currently on disk."""
         return len(self._resident())
+
+    def shard_count(self) -> int:
+        """Populated second-level shard directories (``objects/ab/cd``)."""
+        return len({path.parent for _, _, _, path in self._resident()})
 
     def evict_to_cap(self) -> int:
         """Drop least-recently-used unpinned entries until under the cap.
@@ -307,13 +377,16 @@ class ShardedResultCache:
                 "misses": self.misses,
                 "corrupt": self.corrupt,
                 "evictions": self.evictions,
+                "remote_hits": self.remote_hits,
                 "pinned": sum(len(k) for stack in self._pins.values() for k in stack),
             }
+        entries = self._resident()
         return {
             "root": str(self.root),
             "format": CACHE_FORMAT_VERSION,
             "cap_bytes": self.cap_bytes,
-            "bytes": self.resident_bytes(),
-            "entries": self.entry_count(),
+            "bytes": sum(size for _, size, _, _ in entries),
+            "entries": len(entries),
+            "shards": len({path.parent for _, _, _, path in entries}),
             **counters,
         }

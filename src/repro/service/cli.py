@@ -18,13 +18,34 @@ Submit work with any HTTP client::
 an ephemeral port, submits the same job twice over real HTTP, and
 asserts (a) both responses render byte-identically and (b) the second
 run is served ≥95% from the sharded cache.
+
+Fleet mode scales the same API across a coordinator + N workers::
+
+    ksr-serve --fleet 3                # coordinator + 3 workers, one port
+    ksr-serve --fleet 3 --replication 2
+    ksr-serve --fleet-smoke fig2       # CI self-test: federated == single
+    ksr-serve --loadgen                # closed-loop load generator
+    ksr-serve --loadgen --loadgen-clients 1024 --loadgen-duration 5
+
+``--fleet-smoke`` proves the federation contract: a campaign served by
+a coordinator + workers is byte-identical to the single-daemon run and
+a resubmission is ≥95% cache-served by the worker shards.
+``--loadgen`` sustains thousands of concurrent closed-loop submissions
+against a local fleet and writes throughput/latency/cache/fairness
+numbers into ``BENCH_fleet.json``.
+
+On SIGTERM/SIGINT the server drains gracefully: admission stops
+(503), in-flight jobs get a bounded deadline, the cache manifest is
+compacted, then the process exits.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
 import urllib.request
 
 from repro.experiments.sweep import CACHE_DIR_ENV
@@ -95,6 +116,66 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="self-test: serve EXPERIMENT twice over HTTP on an ephemeral "
         "port, assert byte-identical output and >=95%% cache hits on the "
         "resubmit, then exit",
+    )
+    parser.add_argument(
+        "--drain-deadline",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="graceful-shutdown budget: seconds in-flight jobs get to "
+        "finish after SIGTERM before the process exits anyway",
+    )
+    fleet = parser.add_argument_group("fleet mode")
+    fleet.add_argument(
+        "--fleet",
+        type=int,
+        default=None,
+        metavar="N",
+        help="serve a local fleet: a coordinator (public port) + N workers "
+        "on ephemeral ports, each owning a cache shard by key range",
+    )
+    fleet.add_argument(
+        "--replication",
+        type=int,
+        default=2,
+        metavar="R",
+        help="copies of each fresh result across the fleet (owner + R-1 "
+        "ring successors; default 2)",
+    )
+    fleet.add_argument(
+        "--fleet-smoke",
+        metavar="EXPERIMENT",
+        default=None,
+        help="fleet self-test: serve EXPERIMENT on a coordinator + worker "
+        "fleet, assert byte-identity with a single-daemon run and >=95%% "
+        "cache-served on the resubmit, then exit",
+    )
+    fleet.add_argument(
+        "--loadgen",
+        action="store_true",
+        help="closed-loop load generator: spin up a local fleet, sustain "
+        "--loadgen-clients concurrent submissions for --loadgen-duration "
+        "seconds, write BENCH_fleet.json",
+    )
+    fleet.add_argument(
+        "--loadgen-clients", type=int, default=1024, metavar="N",
+        help="concurrent closed-loop clients (default 1024)",
+    )
+    fleet.add_argument(
+        "--loadgen-processes", type=int, default=8, metavar="N",
+        help="generator OS processes the clients are spread over",
+    )
+    fleet.add_argument(
+        "--loadgen-duration", type=float, default=5.0, metavar="S",
+        help="seconds of sustained load (default 5)",
+    )
+    fleet.add_argument(
+        "--loadgen-tenants", type=int, default=4, metavar="N",
+        help="tenants the clients are spread over (fairness surface)",
+    )
+    fleet.add_argument(
+        "--loadgen-out", default="BENCH_fleet.json", metavar="FILE",
+        help="report artifact path (default BENCH_fleet.json)",
     )
     parser.add_argument(
         "--verbose", action="store_true", help="log requests and cache stats"
@@ -177,12 +258,233 @@ def run_smoke(args) -> int:
     return 0
 
 
+def _fleet_cache_root(args) -> str:
+    import os
+
+    return args.cache_dir or os.environ.get(CACHE_DIR_ENV + "2", ".ksr-fleet-cache")
+
+
+def _make_fleet(args, *, n_workers: int | None = None, **overrides):
+    """A :class:`LocalFleet` from CLI options (+ keyword overrides)."""
+    from repro.service.fleet import LocalFleet
+
+    backend = args.backend
+    if backend is None:
+        backend = f"process:{args.jobs}" if args.jobs else "inline"
+    options = dict(
+        n_workers=n_workers or args.fleet or 3,
+        backend=backend,
+        replication=args.replication,
+        queue_cap=args.queue_cap,
+        worker_threads=args.workers,
+        max_points=args.max_points,
+        max_batch=args.max_batch,
+    )
+    options.update(overrides)
+    return LocalFleet(_fleet_cache_root(args), **options)
+
+
+def run_fleet_smoke(args) -> int:
+    """Fleet CI self-test: federated == single daemon, cache-served resubmit.
+
+    One campaign runs three times: once on a plain single-daemon app
+    (fresh cache), then twice through a coordinator + worker fleet
+    (fresh shards).  The federated result must be byte-identical to the
+    single-daemon one, and the fleet resubmission must be >=95%
+    cache-served out of the worker shards.
+    """
+    import tempfile
+
+    from repro.service.app import ServiceApp, make_server
+
+    body = {"kind": "experiment", "experiment": args.fleet_smoke, "wait": True}
+    with tempfile.TemporaryDirectory(prefix="ksr-fleet-smoke-") as tmp:
+        # -- reference: one daemon, cold cache --------------------------
+        app = ServiceApp(f"{tmp}/single", backend="inline", workers=2)
+        server = make_server(app, args.host, 0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://{server.server_address[0]}:{server.server_address[1]}"
+        try:
+            single = post_job(base, body)
+        finally:
+            server.shutdown()
+            thread.join(timeout=10)
+            app.close()
+        if single.get("status") != "done":
+            print(f"fleet-smoke: single-daemon run failed: {single}", file=sys.stderr)
+            return 1
+        # -- the fleet: coordinator + N workers, cold shards ------------
+        n_workers = args.fleet or 3
+        args_cache_dir = args.cache_dir
+        try:
+            args.cache_dir = f"{tmp}/fleet"
+            fleet = _make_fleet(args, n_workers=n_workers, backend="inline")
+        finally:
+            args.cache_dir = args_cache_dir
+        try:
+            first = post_job(fleet.base_url, body)
+            second = post_job(fleet.base_url, body)
+            workers_line = ", ".join(
+                f"{wid}: {member.app.cache.entry_count()} entries"
+                for wid, member in sorted(fleet.workers.items())
+            )
+        finally:
+            fleet.close()
+    for name, doc in (("first", first), ("second", second)):
+        if doc.get("status") != "done":
+            print(f"fleet-smoke: {name} fleet run failed: {doc}", file=sys.stderr)
+            return 1
+    single_payload = json.dumps(single["result"], sort_keys=True)
+    for name, doc in (("first", first), ("second", second)):
+        if json.dumps(doc["result"], sort_keys=True) != single_payload:
+            print(
+                f"fleet-smoke: {name} federated result differs from the "
+                f"single-daemon run", file=sys.stderr,
+            )
+            return 1
+    stats = second["cache"]
+    lookups = stats["hits"] + stats["misses"]
+    rate = stats["hits"] / lookups if lookups else 0.0
+    print(second["result"]["rendered"])
+    print(f"fleet-smoke {args.fleet_smoke}: {n_workers} workers; shards: {workers_line}")
+    print(
+        f"fleet-smoke {args.fleet_smoke}: federated output byte-identical to "
+        f"single daemon; resubmit {stats['hits']}/{lookups} cache-served "
+        f"({rate:.0%}, {stats['remote_hits']} via replicas)"
+    )
+    if rate < 0.95:
+        print("fleet-smoke: resubmit cache-served rate under 95%", file=sys.stderr)
+        return 1
+    return 0
+
+
+def run_loadgen_cmd(args) -> int:
+    """Spin up a local fleet and drive it with the load generator."""
+    import tempfile
+
+    from repro.service.fleet import run_loadgen
+
+    with tempfile.TemporaryDirectory(prefix="ksr-loadgen-fleet-") as tmp:
+        args_cache_dir = args.cache_dir
+        try:
+            args.cache_dir = args.cache_dir or tmp
+            # A loadgen fleet needs headroom: deep queue, many executor
+            # threads, or the generator only ever measures 429s.
+            fleet = _make_fleet(
+                args,
+                queue_cap=max(args.queue_cap, args.loadgen_clients),
+                exec_workers=16,
+            )
+        finally:
+            args.cache_dir = args_cache_dir
+        try:
+            print(
+                f"loadgen: {args.loadgen_clients} clients / "
+                f"{args.loadgen_processes} processes for "
+                f"{args.loadgen_duration}s against {fleet.base_url} "
+                f"({len(fleet.workers)} workers)"
+            )
+            report = run_loadgen(
+                fleet.base_url,
+                clients=args.loadgen_clients,
+                processes=args.loadgen_processes,
+                duration_s=args.loadgen_duration,
+                tenants=args.loadgen_tenants,
+                out_path=args.loadgen_out,
+            )
+        finally:
+            fleet.close(drain_deadline=args.drain_deadline)
+    totals, latency = report["totals"], report["latency_ms"]
+    print(
+        f"loadgen: {totals['completed']} jobs done "
+        f"({totals['throughput_jobs_per_s']}/s), "
+        f"{totals['rejected']} rejected, {totals['errors']} errors"
+    )
+    print(
+        f"loadgen: latency p50 {latency['p50']}ms / p90 {latency['p90']}ms / "
+        f"p99 {latency['p99']}ms"
+    )
+    print(
+        f"loadgen: cache-served {report['cache']['served_fraction']:.1%}, "
+        f"coalesce rate {report['coalesce']['rate']:.1%}, "
+        f"fairness (Jain) {report['fairness']['jain_index']}"
+    )
+    print(f"loadgen: report written to {args.loadgen_out}")
+    if totals["completed"] == 0:
+        print("loadgen: no job completed", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _serve_until_signal(serve_label: str, server, close, deadline: float) -> int:
+    """Run ``server`` until SIGTERM/SIGINT, then drain gracefully."""
+    stop = threading.Event()
+
+    def on_signal(signum, frame):  # pragma: no cover - signal plumbing
+        stop.set()
+
+    try:
+        signal.signal(signal.SIGTERM, on_signal)
+        signal.signal(signal.SIGINT, on_signal)
+    except ValueError:  # pragma: no cover - not the main thread
+        pass
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        stop.wait()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    print(f"{serve_label}: draining (deadline {deadline:.0f}s)")
+    server.shutdown()
+    thread.join(timeout=10)
+    stranded = close()
+    if stranded:
+        print(f"{serve_label}: exited with {stranded} job(s) unfinished",
+              file=sys.stderr)
+        return 1
+    print(f"{serve_label}: clean shutdown")
+    return 0
+
+
+def run_fleet_serve(args) -> int:
+    """``ksr-serve --fleet N``: a local fleet behind one coordinator port."""
+    from repro.service.app import make_server
+
+    fleet = _make_fleet(args)
+    # Re-bind the coordinator onto the requested public port.
+    coordinator = fleet.coordinator
+    fleet._coord.server.shutdown()
+    fleet._coord.server.server_close()
+    fleet._coord.thread.join(timeout=10)
+    server = make_server(coordinator, args.host, args.port, verbose=args.verbose)
+    host, port = server.server_address[0], server.server_address[1]
+    print(f"ksr-serve fleet listening on http://{host}:{port}")
+    for wid, url in sorted(fleet.worker_urls().items()):
+        print(f"  {wid} at {url}")
+    print(f"  replication {args.replication}, queue cap {args.queue_cap}")
+
+    def close() -> int:
+        stranded = coordinator.close(drain_deadline=args.drain_deadline)
+        for member in fleet.workers.values():
+            member.stop(drain_deadline=args.drain_deadline)
+        return stranded
+
+    return _serve_until_signal("ksr-serve fleet", server, close, args.drain_deadline)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point of ``ksr-serve``."""
     install_sigpipe_handler()
     args = build_serve_parser().parse_args(argv)
     if args.smoke:
         return run_smoke(args)
+    if args.fleet_smoke:
+        return run_fleet_smoke(args)
+    if args.loadgen:
+        return run_loadgen_cmd(args)
+    if args.fleet:
+        return run_fleet_serve(args)
     from repro.service.app import make_server
 
     app = _make_app(args)
@@ -193,14 +495,12 @@ def main(argv: list[str] | None = None) -> int:
           f"{app.scheduler.stats()['workers']} workers, "
           f"queue cap {app.scheduler.queue_cap}")
     print(f"  {format_cache_stats(app.cache.stats())}")
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:  # pragma: no cover - interactive only
-        print("shutting down")
-    finally:
-        server.shutdown()
-        app.close()
-    return 0
+    return _serve_until_signal(
+        "ksr-serve",
+        server,
+        lambda: app.close(drain_deadline=args.drain_deadline),
+        args.drain_deadline,
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,65 @@
+"""Federated ``ksr-serve``: coordinator + worker fleet.
+
+The single-daemon serving layer makes one experiment point a pure,
+cached function behind one HTTP process; this package scales that
+abstraction the way the KSR-1 scales a cell's memory — by making many
+workers look like one coherent resource:
+
+* :mod:`~repro.service.fleet.ring` — consistent-hash ring (virtual
+  nodes) mapping each ``point_key`` to its owning worker.
+* :mod:`~repro.service.fleet.wire` — the fleet wire protocol (JSON
+  control plane, pickled data plane, allowlisted function identity).
+* :mod:`~repro.service.fleet.quotas` — per-tenant token buckets and
+  stride-scheduled weighted fair share.
+* :mod:`~repro.service.fleet.worker` — a ``ServiceApp`` owning one
+  cache shard, with cross-worker read-through and async replication.
+* :mod:`~repro.service.fleet.coordinator` — admission, routing,
+  heartbeat/health, key-range handoff on worker death.
+* :mod:`~repro.service.fleet.local` — a one-process fleet harness on
+  real loopback sockets (tests, ``--fleet``, smoke, loadgen).
+* :mod:`~repro.service.fleet.loadgen` — the closed-loop multi-process
+  load generator behind ``ksr-serve --loadgen``.
+
+The invariant the whole package leans on is the same one the cache
+leans on: every sweep point is a pure function of its arguments, so
+*where* a point computes — which worker, before or after a handoff,
+from a replica or fresh — can never change *what* it computes.  A
+federated campaign is byte-identical to a single-daemon run.
+"""
+
+from repro.service.fleet.coordinator import (
+    CoordinatorApp,
+    FleetClient,
+    FleetScheduler,
+    FleetSweepRunner,
+    WorkerHandle,
+)
+from repro.service.fleet.loadgen import run_loadgen
+from repro.service.fleet.local import LocalFleet
+from repro.service.fleet.quotas import (
+    DEFAULT_TENANT,
+    FairShareQueue,
+    TenantPolicy,
+    TokenBucket,
+)
+from repro.service.fleet.ring import HashRing
+from repro.service.fleet.wire import WireError
+from repro.service.fleet.worker import FleetWorkerApp, make_worker_server
+
+__all__ = [
+    "CoordinatorApp",
+    "DEFAULT_TENANT",
+    "FairShareQueue",
+    "FleetClient",
+    "FleetScheduler",
+    "FleetSweepRunner",
+    "FleetWorkerApp",
+    "HashRing",
+    "LocalFleet",
+    "TenantPolicy",
+    "TokenBucket",
+    "WireError",
+    "WorkerHandle",
+    "make_worker_server",
+    "run_loadgen",
+]

@@ -1,0 +1,700 @@
+"""Fleet coordinator: admission, routing, health, handoff.
+
+The coordinator is the fleet's single public face.  It keeps the
+single-daemon API contract — same endpoints, same 400/413/429 pricing,
+same byte-identical payloads — and adds the fleet concerns on top:
+
+* **Routing** — each job's sweep points are partitioned by the
+  consistent-hash ring over their ``point_key`` and posted to the
+  owning workers in parallel.  Point purity makes routing invisible in
+  the results: any partition of the calls produces the same values, so
+  a federated campaign is byte-identical to a single-daemon run.
+* **Health & handoff** — workers are heartbeated over ``/healthz``; a
+  worker that stops answering (or advertises a different code version,
+  whose shard could never serve this coordinator's keys) is removed
+  from the ring and its in-flight batches are re-partitioned among the
+  survivors.  No job is lost to a worker death — its points are simply
+  recomputed (or read through from replicas) at their new owners.
+* **Multi-tenant admission** — on top of the shared 413 pricing and
+  :class:`~repro.service.batching.JobTable` coalescing, each tenant
+  passes a token-bucket quota (429 with the exact token wait as
+  ``Retry-After``) and admitted jobs drain in weighted fair-share
+  order (:class:`~repro.service.fleet.quotas.FairShareQueue`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.experiments.sweep import SweepRunner, point_key
+from repro.obs.summary import capture_summary
+from repro.service.app import version_info
+from repro.service.backends import harvest_captures
+from repro.service.batching import JobTable, estimate_points
+from repro.service.fleet import wire
+from repro.service.fleet.quotas import (
+    DEFAULT_TENANT,
+    FairShareQueue,
+    TenantPolicy,
+    TokenBucket,
+)
+from repro.service.fleet.ring import DEFAULT_VNODES, HashRing
+from repro.service.jobs import JobSpec, ServiceError, describe_catalog
+from repro.service.scheduler import Job, RejectedError
+
+__all__ = ["WorkerHandle", "FleetClient", "FleetSweepRunner", "FleetScheduler",
+           "CoordinatorApp"]
+
+
+@dataclass
+class WorkerHandle:
+    """One worker's membership record as the coordinator sees it."""
+
+    worker_id: str
+    base_url: str
+    alive: bool = True
+    reason: str = ""
+    failures: int = 0
+    last_seen: float = 0.0
+    version: dict[str, str] = field(default_factory=dict)
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-able membership summary for status surfaces."""
+        return {
+            "worker_id": self.worker_id,
+            "base_url": self.base_url,
+            "alive": self.alive,
+            "reason": self.reason,
+            "failures": self.failures,
+        }
+
+
+class FleetClient:
+    """Routes point batches to workers; owns ring membership + health."""
+
+    def __init__(
+        self,
+        workers: dict[str, str],
+        *,
+        replication: int = 2,
+        vnodes: int = DEFAULT_VNODES,
+        map_timeout: float = 600.0,
+        health_timeout: float = 5.0,
+        max_failures: int = 2,
+    ):
+        if not workers:
+            raise ValueError("a fleet needs at least one worker")
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        self.replication = replication
+        self.map_timeout = map_timeout
+        self.health_timeout = health_timeout
+        self.max_failures = max_failures
+        self.workers = {
+            wid: WorkerHandle(worker_id=wid, base_url=url.rstrip("/"))
+            for wid, url in workers.items()
+        }
+        self.ring = HashRing(self.workers, vnodes=vnodes)
+        self._lock = threading.Lock()
+        self._heartbeat_thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self.handoffs = 0
+        self.routed_points = 0
+        self.stats_totals = {"points": 0, "local_hits": 0, "remote_hits": 0,
+                             "computed": 0}
+
+    # -- membership / health ------------------------------------------
+
+    def alive_workers(self) -> list[WorkerHandle]:
+        """Handles of the workers currently on the ring."""
+        with self._lock:
+            return [w for w in self.workers.values() if w.alive]
+
+    def mark_dead(self, worker_id: str, reason: str) -> None:
+        """Drop a worker from the ring; its key range falls to successors."""
+        with self._lock:
+            handle = self.workers.get(worker_id)
+            if handle is None or not handle.alive:
+                return
+            handle.alive = False
+            handle.reason = reason
+            self.ring.remove(worker_id)
+            self.handoffs += 1
+
+    def mark_alive(self, worker_id: str) -> None:
+        """Re-admit a worker to the ring (heartbeat answered sanely)."""
+        with self._lock:
+            handle = self.workers[worker_id]
+            if not handle.alive:
+                handle.alive = True
+                handle.reason = ""
+                self.ring.add(worker_id)
+            handle.failures = 0
+            handle.last_seen = time.monotonic()
+
+    def check_health(self) -> dict[str, bool]:
+        """One heartbeat round; returns ``worker_id -> alive`` after it.
+
+        Routing decisions come straight off the health responses: a
+        worker advertising a different ``version.code`` is excluded
+        (its cache keys are from different code — it could only waste
+        compute under keys this coordinator would never find), a
+        worker that failed ``max_failures`` consecutive probes is
+        excluded, and a previously dead worker that answers again with
+        a matching version rejoins the ring.
+        """
+        my_version = version_info()["code"]
+        for handle in list(self.workers.values()):
+            try:
+                status, doc = wire.get_json(
+                    f"{handle.base_url}/healthz", timeout=self.health_timeout
+                )
+            except wire.WireError:
+                with self._lock:
+                    handle.failures += 1
+                    failures = handle.failures
+                if failures >= self.max_failures:
+                    self.mark_dead(handle.worker_id, "unreachable")
+                continue
+            if status != 200 or doc.get("status") not in ("ok", "draining"):
+                self.mark_dead(handle.worker_id, f"unhealthy ({status})")
+                continue
+            worker_code = (doc.get("version") or {}).get("code")
+            if worker_code is not None and worker_code != my_version:
+                self.mark_dead(handle.worker_id, "version mismatch")
+                continue
+            if doc.get("status") == "draining":
+                self.mark_dead(handle.worker_id, "draining")
+                continue
+            self.mark_alive(handle.worker_id)
+        with self._lock:
+            return {wid: h.alive for wid, h in self.workers.items()}
+
+    def start_heartbeat(self, interval: float = 2.0) -> None:
+        """Poll worker health on a daemon thread every ``interval`` s."""
+        if self._heartbeat_thread is not None:
+            return
+
+        def loop() -> None:
+            while not self._stop.wait(interval):
+                self.check_health()
+
+        self._heartbeat_thread = threading.Thread(
+            target=loop, name="fleet-heartbeat", daemon=True
+        )
+        self._heartbeat_thread.start()
+
+    def close(self) -> None:
+        """Stop the heartbeat thread (idempotent)."""
+        self._stop.set()
+        if self._heartbeat_thread is not None:
+            self._heartbeat_thread.join(timeout=5)
+            self._heartbeat_thread = None
+
+    # -- routing -------------------------------------------------------
+
+    def _peer_urls(self, exclude: str) -> list[str]:
+        with self._lock:
+            return [
+                w.base_url for w in self.workers.values()
+                if w.alive and w.worker_id != exclude
+            ]
+
+    def _replica_urls(self, worker_id: str) -> list[str]:
+        """Where ``worker_id`` pushes fresh results: its ring successors."""
+        with self._lock:
+            if worker_id not in self.ring:
+                return []
+            successors = self.ring.successors(worker_id, self.replication - 1)
+            return [self.workers[wid].base_url for wid in successors
+                    if self.workers[wid].alive]
+
+    def _map_one(
+        self, handle: WorkerHandle, func_id: str, calls: list[dict[str, Any]]
+    ) -> dict[str, Any] | None:
+        body = {
+            "func": func_id,
+            "calls": calls,
+            "peers": self._peer_urls(exclude=handle.worker_id),
+            "replicas": self._replica_urls(handle.worker_id),
+        }
+        try:
+            status, doc = wire.post_pickle(
+                f"{handle.base_url}/v1/fleet/map", body, timeout=self.map_timeout
+            )
+        except wire.WireError:
+            return None
+        if status != 200 or not isinstance(doc, dict) or "values" not in doc:
+            return None
+        if len(doc["values"]) != len(calls):
+            return None  # truncated answer: treat like a dead worker
+        return doc
+
+    def map_points(
+        self, func: Callable[..., Any], calls: Sequence[dict[str, Any]]
+    ) -> tuple[list[Any], dict[str, int]]:
+        """Route every call to its owner; survive worker deaths mid-map.
+
+        Unanswered batches are re-partitioned over the surviving ring
+        until every call has a value — the key-range handoff path.  The
+        per-map stats dict reports how the points were served.
+        """
+        calls = list(calls)
+        func_id = f"{func.__module__}.{func.__qualname__}"
+        keys = [point_key(func, kwargs) for kwargs in calls]
+        results: list[Any] = [None] * len(calls)
+        resolved = [False] * len(calls)
+        stats = {"points": len(calls), "local_hits": 0, "remote_hits": 0,
+                 "computed": 0}
+        unresolved = list(range(len(calls)))
+        # Every retry round loses at least one worker, so membership
+        # size bounds the rounds; +1 for the clean first pass.
+        for _ in range(len(self.workers) + 1):
+            if not unresolved:
+                break
+            alive = {w.worker_id: w for w in self.alive_workers()}
+            if not alive:
+                raise ServiceError("no live fleet workers", status=503)
+            groups: dict[str, list[int]] = {}
+            with self._lock:
+                for i in unresolved:
+                    groups.setdefault(self.ring.owner(keys[i]), []).append(i)
+            with ThreadPoolExecutor(max_workers=len(groups)) as pool:
+                futures = {
+                    wid: pool.submit(
+                        self._map_one, alive[wid], func_id,
+                        [calls[i] for i in indices],
+                    )
+                    for wid, indices in groups.items()
+                }
+                still_unresolved: list[int] = []
+                for wid, indices in groups.items():
+                    doc = futures[wid].result()
+                    if doc is None:
+                        self.mark_dead(wid, "map failure")
+                        still_unresolved.extend(indices)
+                        continue
+                    for i, value in zip(indices, doc["values"]):
+                        results[i] = value
+                        resolved[i] = True
+                    for name in ("local_hits", "remote_hits", "computed"):
+                        stats[name] += doc["stats"].get(name, 0)
+            unresolved = still_unresolved
+        if unresolved:
+            raise ServiceError(
+                f"{len(unresolved)} points could not be routed to any "
+                f"live worker", status=503,
+            )
+        self.routed_points += len(calls)
+        for name, value in stats.items():
+            self.stats_totals[name] += value if name != "points" else len(calls)
+        return results, stats
+
+    # -- status --------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Membership, routing and served-point counters."""
+        with self._lock:
+            return {
+                "workers": {wid: h.describe() for wid, h in self.workers.items()},
+                "alive": sorted(w.worker_id for w in self.workers.values() if w.alive),
+                "replication": self.replication,
+                "vnodes": self.ring.vnodes,
+                "handoffs": self.handoffs,
+                "routed_points": self.routed_points,
+                "totals": dict(self.stats_totals),
+            }
+
+
+class FleetSweepRunner(SweepRunner):
+    """A :class:`SweepRunner` whose execute seam is the worker fleet.
+
+    The coordinator holds no point cache of its own — every cache shard
+    lives with its owning worker — so *all* calls flow to ``_execute``
+    and the per-point served/computed accounting comes back in the map
+    responses.  Captures are harvested exactly like the single-daemon
+    :class:`~repro.service.backends.BackendSweepRunner`.
+    """
+
+    def __init__(self, client: FleetClient):
+        super().__init__(jobs=1, cache=None)
+        self.client = client
+        self.captures: list[Any] = []
+        self.fleet_stats = {"points": 0, "local_hits": 0, "remote_hits": 0,
+                            "computed": 0}
+
+    def map(self, func, calls, *, on_result=None):  # type: ignore[override]
+        """Fan one sweep out over the fleet, harvesting obs captures."""
+        results = super().map(func, calls, on_result=on_result)
+        self.captures.extend(harvest_captures(results))
+        return results
+
+    def _execute(self, func: Callable[..., Any], calls: Sequence[dict[str, Any]]) -> list[Any]:
+        values, stats = self.client.map_points(func, calls)
+        for name in self.fleet_stats:
+            self.fleet_stats[name] += stats.get(name, 0)
+        return values
+
+
+class FleetScheduler:
+    """Multi-tenant, fair-share job executor over a worker fleet.
+
+    Shares the single-daemon scheduler's contract (submit → Job,
+    bounded accepted-set, 413 pricing, coalescing, retry-after hints)
+    but admits per tenant and dequeues by weighted fair share.
+    """
+
+    def __init__(
+        self,
+        client: FleetClient,
+        *,
+        exec_workers: int = 4,
+        queue_cap: int = 32,
+        max_points: int = 512,
+        policies: dict[str, TenantPolicy] | None = None,
+        default_policy: TenantPolicy | None = None,
+    ):
+        if exec_workers < 1:
+            raise ValueError(f"exec_workers must be >= 1, got {exec_workers}")
+        if queue_cap < 1:
+            raise ValueError(f"queue_cap must be >= 1, got {queue_cap}")
+        self.client = client
+        self.queue_cap = queue_cap
+        self.max_points = max_points
+        self.policies = dict(policies or {})
+        self.default_policy = default_policy or TenantPolicy()
+        self._buckets: dict[str, TokenBucket] = {}
+        self._fair = FairShareQueue(self.policy_for)
+        self._table = JobTable()
+        self._jobs: dict[str, Job] = {}
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._queued = 0
+        self._recent_seconds: list[float] = []
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+        self.rejected_quota = 0
+        self.stranded = 0
+        self._closing = False
+        self._tenants: dict[str, dict[str, int]] = {}
+        self._workers = [
+            threading.Thread(target=self._worker, name=f"fleet-exec-{i}", daemon=True)
+            for i in range(exec_workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # -- tenancy -------------------------------------------------------
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        """The admission policy governing ``tenant``."""
+        return self.policies.get(tenant, self.default_policy)
+
+    def _bucket_for(self, tenant: str) -> TokenBucket | None:
+        policy = self.policy_for(tenant)
+        if policy.rate is None:
+            return None
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(policy.rate, policy.burst)
+        return bucket
+
+    def _tenant_counters(self, tenant: str) -> dict[str, int]:
+        counters = self._tenants.get(tenant)
+        if counters is None:
+            counters = self._tenants[tenant] = {
+                "submitted": 0, "completed": 0, "failed": 0,
+                "rejected_quota": 0, "rejected_queue": 0, "coalesced": 0,
+            }
+        return counters
+
+    # -- submission ----------------------------------------------------
+
+    def _retry_after_locked(self) -> float:
+        recent = self._recent_seconds
+        per_job = (sum(recent) / len(recent)) if recent else 1.0
+        return max(1.0, round(self._queued * per_job / len(self._workers), 1))
+
+    def retry_after(self) -> float:
+        """Public (locking) form of the back-off hint."""
+        with self._lock:
+            return self._retry_after_locked()
+
+    def submit(self, spec: JobSpec, tenant: str = DEFAULT_TENANT) -> Job:
+        """Admit, coalesce or reject one spec for ``tenant``."""
+        points = estimate_points(spec)
+        if points > self.max_points:
+            raise ServiceError(
+                f"job would fan out {points} sweep points, over this "
+                f"fleet's per-job bound of {self.max_points}; split the "
+                f"request",
+                status=413,
+            )
+        with self._lock:
+            if self._closing:
+                raise ServiceError("fleet scheduler is draining", status=503)
+            counters = self._tenant_counters(tenant)
+            self.submitted += 1
+            counters["submitted"] += 1
+            bucket = self._bucket_for(tenant)
+            if bucket is not None:
+                ok, wait = bucket.try_take()
+                if not ok:
+                    self.rejected_quota += 1
+                    counters["rejected_quota"] += 1
+                    raise RejectedError(
+                        f"tenant {tenant!r} is over its admission quota; "
+                        f"retry later",
+                        retry_after=max(wait, 0.1),
+                    )
+            job = Job(
+                job_id=f"job-{next(self._ids)}",
+                spec=spec,
+                tenant=tenant,
+                submitted_at=time.time(),
+            )
+            existing = self._table.claim(spec.canonical(), job)
+            if existing is not None:
+                counters["coalesced"] += 1
+                return existing
+            if self._queued >= self.queue_cap:
+                self.rejected += 1
+                counters["rejected_queue"] += 1
+                self._table.release(spec.canonical())
+                raise RejectedError(
+                    f"fleet queue full ({self.queue_cap} jobs); retry later",
+                    retry_after=self._retry_after_locked(),
+                )
+            self._queued += 1
+            self._jobs[job.job_id] = job
+        self._fair.push(tenant, job)
+        return job
+
+    def get(self, job_id: str) -> Job | None:
+        """Look up an accepted job by id (None if unknown)."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    # -- execution -----------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            item = self._fair.pop()
+            if item is None:
+                return
+            _, job = item
+            self._run_job(job)
+
+    def _run_job(self, job: Job) -> None:
+        job.status = "running"
+        job.started_at = time.time()
+        runner = FleetSweepRunner(self.client)
+        try:
+            payload = job.spec.execute(runner)
+        except ServiceError as exc:
+            job.status = "failed"
+            job.error = str(exc)
+        except Exception as exc:  # noqa: BLE001 - a job must never kill a worker
+            job.status = "failed"
+            job.error = f"{type(exc).__name__}: {exc}"
+        else:
+            served = runner.fleet_stats
+            job.payload = payload
+            job.cache = {
+                # Same shape the single daemon reports: "hits" is every
+                # cache-served point (own shard or replica), "misses"
+                # is every freshly computed one — what the >=95%
+                # resubmit assertion divides.
+                "hits": served["local_hits"] + served["remote_hits"],
+                "misses": served["computed"],
+                "local_hits": served["local_hits"],
+                "remote_hits": served["remote_hits"],
+                "computed": served["computed"],
+                "points": served["points"],
+                "fleet": True,
+            }
+            job.obs = [capture_summary(c) for c in runner.captures]
+            job.status = "done"
+        finally:
+            job.finished_at = time.time()
+            with self._lock:
+                self._queued -= 1
+                counters = self._tenant_counters(job.tenant)
+                if job.status == "done":
+                    self.completed += 1
+                    counters["completed"] += 1
+                else:
+                    self.failed += 1
+                    counters["failed"] += 1
+                self._recent_seconds.append(job.finished_at - job.started_at)
+                del self._recent_seconds[:-20]
+            self._table.release(job.spec.canonical())
+            job._done.set()
+
+    # -- lifecycle / stats ---------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Scheduler counters, overall and per tenant."""
+        with self._lock:
+            return {
+                "workers": len(self._workers),
+                "queue_cap": self.queue_cap,
+                "queued": self._queued,
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+                "rejected_quota": self.rejected_quota,
+                "stranded": self.stranded,
+                "coalesced": self._table.coalesced,
+                "max_points": self.max_points,
+                "backend": "fleet",
+                "tenants": {t: dict(c) for t, c in sorted(self._tenants.items())},
+            }
+
+    def drain(self, deadline: float = 30.0) -> int:
+        """Wait (bounded) for the accepted set to empty; returns leftovers."""
+        end = time.monotonic() + max(0.0, deadline)
+        while time.monotonic() < end:
+            with self._lock:
+                if self._queued == 0:
+                    return 0
+            time.sleep(0.02)
+        with self._lock:
+            return self._queued
+
+    def close(self, deadline: float = 30.0) -> int:
+        """Bounded-deadline drain, mirroring ``Scheduler.close``."""
+        with self._lock:
+            already_closing = self._closing
+            self._closing = True
+        if not already_closing:
+            self.drain(deadline)
+            self._fair.close()
+        end = time.monotonic() + max(1.0, deadline / 2)
+        for thread in self._workers:
+            thread.join(timeout=max(0.0, end - time.monotonic()))
+        with self._lock:
+            stranded = self._queued
+            self.stranded = stranded
+        return stranded
+
+
+class CoordinatorApp:
+    """The coordinator's HTTP facade (duck-typed like ``ServiceApp``).
+
+    ``make_server`` from :mod:`repro.service.app` binds it unchanged —
+    the handler only needs ``handle_get`` and ``handle_submit``.
+    """
+
+    def __init__(
+        self,
+        client: FleetClient,
+        *,
+        exec_workers: int = 4,
+        queue_cap: int = 32,
+        max_points: int = 512,
+        policies: dict[str, TenantPolicy] | None = None,
+        default_policy: TenantPolicy | None = None,
+        heartbeat_interval: float | None = 2.0,
+    ):
+        self.client = client
+        self.scheduler = FleetScheduler(
+            client,
+            exec_workers=exec_workers,
+            queue_cap=queue_cap,
+            max_points=max_points,
+            policies=policies,
+            default_policy=default_policy,
+        )
+        self.started_at = time.time()
+        self._closing = threading.Event()
+        if heartbeat_interval:
+            client.start_heartbeat(heartbeat_interval)
+
+    @property
+    def closing(self) -> bool:
+        return self._closing.is_set()
+
+    def begin_shutdown(self) -> None:
+        """Flip to draining: new submissions get 503 from now on."""
+        self._closing.set()
+
+    def close(self, *, drain_deadline: float = 30.0) -> int:
+        """Stop admitting, drain accepted jobs, stop the heartbeat."""
+        self.begin_shutdown()
+        stranded = self.scheduler.close(deadline=drain_deadline)
+        self.client.close()
+        return stranded
+
+    # -- request handling ----------------------------------------------
+
+    def handle_get(self, path: str) -> tuple[int, dict[str, Any]]:
+        """Route one GET; returns ``(status, json_doc)``."""
+        if path == "/healthz":
+            fleet = self.client.stats()
+            return 200, {
+                "status": "draining" if self.closing else "ok",
+                "role": "coordinator",
+                "uptime_s": round(time.time() - self.started_at, 3),
+                "version": version_info(),
+                "fleet": {"alive": fleet["alive"],
+                          "workers": len(fleet["workers"]),
+                          "handoffs": fleet["handoffs"]},
+            }
+        if path == "/v1/stats":
+            return 200, {
+                "scheduler": self.scheduler.stats(),
+                "fleet": self.client.stats(),
+                "version": version_info(),
+            }
+        if path == "/v1/fleet/workers":
+            return 200, self.client.stats()
+        if path == "/v1/experiments":
+            return 200, describe_catalog()
+        if path.startswith("/v1/jobs/"):
+            job = self.scheduler.get(path.removeprefix("/v1/jobs/"))
+            if job is None:
+                return 404, {"error": "no such job"}
+            return 200, job.describe()
+        return 404, {"error": f"no such endpoint {path!r}"}
+
+    def handle_submit(
+        self, body: dict[str, Any]
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        """Admit one job submission; ``(status, doc, extra_headers)``."""
+        from repro.service.app import MAX_WAIT_SECONDS
+
+        if self.closing:
+            return (
+                503,
+                {"error": "coordinator is draining; retry later"},
+                {"Retry-After": "5"},
+            )
+        tenant = body.get("tenant", DEFAULT_TENANT)
+        if not isinstance(tenant, str) or not tenant:
+            return 400, {"error": "'tenant' must be a non-empty string"}, {}
+        try:
+            spec = JobSpec.from_request(body)
+            job = self.scheduler.submit(spec, tenant)
+        except RejectedError as exc:
+            return (
+                exc.status,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                {"Retry-After": str(int(exc.retry_after + 0.5) or 1)},
+            )
+        except ServiceError as exc:
+            return exc.status, {"error": str(exc)}, {}
+        if body.get("wait"):
+            timeout = min(float(body.get("timeout", MAX_WAIT_SECONDS)), MAX_WAIT_SECONDS)
+            if not job.wait(timeout):
+                return 202, job.describe(), {}
+            return 200, job.describe(), {}
+        return 202, job.describe(), {}

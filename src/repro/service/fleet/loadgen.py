@@ -1,0 +1,293 @@
+"""Closed-loop multi-process load generator for the serving fleet.
+
+``ksr-serve --loadgen`` answers the capacity question the paper asks
+of the KSR-1 — *what happens as you add load?* — at the serving-fleet
+level.  It spins up ``processes`` OS processes, each running
+``clients/processes`` closed-loop client threads; every client keeps
+exactly one job submission in flight against the coordinator (POST
+``wait: true``), so ``clients`` is the sustained concurrency, not a
+fire-and-forget burst.  Clients draw small ``point`` jobs from a tiny
+parameter space: the first wave computes, everything after is served
+from worker shards or coalesced in the coordinator's job table — the
+same cache/coalescing economics a production fleet would show.
+
+The run reports, into a ``BENCH_fleet.json`` artifact:
+
+* throughput (completed jobs/s) and latency percentiles (p50/p90/p99),
+* the cache-served fraction (hits over hits+computed, summed over
+  every job's own fleet accounting),
+* the coalesce rate at the coordinator,
+* per-tenant completion shares and Jain's fairness index over
+  weight-normalised throughput.
+
+Latency/throughput numbers are wall-clock and machine-dependent (this
+is a harness artifact like ``BENCH_engine.json``, not a golden value);
+the cache/coalesce/fairness fractions are the stable, assertable part.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+__all__ = ["run_loadgen", "jain_index", "percentile"]
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already sorted list (0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, max(0, int(q * len(sorted_values))))
+    return sorted_values[rank]
+
+
+def jain_index(values: list[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly fair, 1/n = one hog."""
+    if not values:
+        return 1.0
+    square_of_sum = sum(values) ** 2
+    sum_of_squares = sum(v * v for v in values)
+    if sum_of_squares == 0:
+        return 1.0
+    return square_of_sum / (len(values) * sum_of_squares)
+
+
+def _post_json(base_url: str, body: dict[str, Any], timeout: float) -> tuple[int, dict]:
+    request = urllib.request.Request(
+        f"{base_url}/v1/jobs",
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        try:
+            return exc.code, json.loads(exc.read())
+        except (ValueError, OSError):
+            return exc.code, {}
+
+
+def _get_json(base_url: str, path: str, timeout: float = 30.0) -> dict:
+    with urllib.request.urlopen(base_url + path, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def _client_loop(base_url: str, tenant: str, thread_index: int,
+                 cfg: dict[str, Any], deadline: float,
+                 sink: dict[str, Any], lock: threading.Lock) -> None:
+    """One closed-loop client: submit, wait, record, repeat."""
+    seeds = cfg["spec_seeds"]
+    iteration = 0
+    while time.monotonic() < deadline:
+        seed = seeds[(thread_index + iteration) % len(seeds)]
+        iteration += 1
+        body = {
+            "kind": "point",
+            "params": {"ops": cfg["ops"], "n_procs": cfg["n_procs"], "seed": seed},
+            "tenant": tenant,
+            "wait": True,
+            "timeout": cfg["timeout"],
+        }
+        start = time.monotonic()
+        try:
+            status, doc = _post_json(base_url, body, timeout=cfg["timeout"] + 30)
+        except (urllib.error.URLError, OSError):
+            with lock:
+                sink["errors"] += 1
+            time.sleep(0.05)
+            continue
+        elapsed = time.monotonic() - start
+        with lock:
+            if status == 200 and doc.get("status") == "done":
+                sink["completed"] += 1
+                sink["per_tenant"][tenant] = sink["per_tenant"].get(tenant, 0) + 1
+                sink["latencies"].append(elapsed)
+                cache = doc.get("cache", {})
+                sink["hits"] += int(cache.get("hits", 0))
+                sink["misses"] += int(cache.get("misses", 0))
+            elif status == 429:
+                sink["rejected"] += 1
+                retry_after = float(doc.get("retry_after", 0.1) or 0.1)
+            elif status == 503:
+                sink["rejected"] += 1
+            else:
+                sink["errors"] += 1
+        if status == 429:
+            time.sleep(min(retry_after, 0.25))
+        elif status == 503:
+            time.sleep(0.1)
+
+
+def _loadgen_process(base_url: str, cfg: dict[str, Any], proc_index: int,
+                     out_path: str) -> None:
+    """One generator process: fan out client threads, write a JSON shard."""
+    deadline = time.monotonic() + cfg["duration_s"]
+    sink: dict[str, Any] = {
+        "completed": 0, "rejected": 0, "errors": 0,
+        "hits": 0, "misses": 0,
+        "latencies": [], "per_tenant": {},
+    }
+    lock = threading.Lock()
+    tenants = cfg["tenants"]
+    threads = []
+    for t in range(cfg["clients_per_process"]):
+        global_index = proc_index * cfg["clients_per_process"] + t
+        tenant = tenants[global_index % len(tenants)]
+        thread = threading.Thread(
+            target=_client_loop,
+            args=(base_url, tenant, global_index, cfg, deadline, sink, lock),
+            daemon=True,
+        )
+        threads.append(thread)
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=cfg["duration_s"] + cfg["timeout"] + 60)
+    sink["latencies"].sort()
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(sink, fh)
+
+
+def run_loadgen(
+    base_url: str,
+    *,
+    clients: int = 1024,
+    processes: int = 8,
+    duration_s: float = 5.0,
+    tenants: int = 4,
+    spec_space: int = 16,
+    ops: int = 2,
+    n_procs: int = 2,
+    timeout: float = 120.0,
+    out_path: str = "BENCH_fleet.json",
+) -> dict[str, Any]:
+    """Drive ``base_url`` with ``clients`` closed-loop clients; report.
+
+    Returns the report dict and writes it to ``out_path``.  ``clients``
+    is split evenly over ``processes`` OS processes so the generator
+    itself never bottlenecks on one GIL.
+    """
+    if clients < 1 or processes < 1 or clients < processes:
+        raise ValueError(f"need clients >= processes >= 1, got {clients}/{processes}")
+    cfg = {
+        "clients_per_process": clients // processes,
+        "duration_s": duration_s,
+        "tenants": [f"tenant-{i}" for i in range(max(1, tenants))],
+        "spec_seeds": [1000 + i for i in range(max(1, spec_space))],
+        "ops": ops,
+        "n_procs": n_procs,
+        "timeout": timeout,
+    }
+    effective_clients = cfg["clients_per_process"] * processes
+    before = _get_json(base_url, "/v1/stats")
+    started = time.monotonic()
+    context = multiprocessing.get_context("spawn")
+    with tempfile.TemporaryDirectory(prefix="ksr-loadgen-") as tmp:
+        shards = [os.path.join(tmp, f"shard-{i}.json") for i in range(processes)]
+        procs = [
+            context.Process(
+                target=_loadgen_process, args=(base_url, cfg, i, shards[i]),
+                daemon=True,
+            )
+            for i in range(processes)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=duration_s + timeout + 120)
+            if proc.is_alive():  # pragma: no cover - hung generator
+                proc.terminate()
+        merged: dict[str, Any] = {
+            "completed": 0, "rejected": 0, "errors": 0,
+            "hits": 0, "misses": 0, "latencies": [], "per_tenant": {},
+        }
+        for shard in shards:
+            try:
+                with open(shard, encoding="utf-8") as fh:
+                    part = json.load(fh)
+            except (OSError, json.JSONDecodeError):  # pragma: no cover
+                continue
+            for key in ("completed", "rejected", "errors", "hits", "misses"):
+                merged[key] += part[key]
+            merged["latencies"].extend(part["latencies"])
+            for tenant, count in part["per_tenant"].items():
+                merged["per_tenant"][tenant] = (
+                    merged["per_tenant"].get(tenant, 0) + count
+                )
+    elapsed = time.monotonic() - started
+    after = _get_json(base_url, "/v1/stats")
+    latencies = sorted(merged["latencies"])
+    lookups = merged["hits"] + merged["misses"]
+    submitted_delta = (
+        after["scheduler"]["submitted"] - before["scheduler"]["submitted"]
+    )
+    coalesced_delta = (
+        after["scheduler"]["coalesced"] - before["scheduler"]["coalesced"]
+    )
+    per_tenant = {
+        tenant: {
+            "completed": count,
+            "jobs_per_s": round(count / elapsed, 3) if elapsed else 0.0,
+            "share": round(count / merged["completed"], 4)
+            if merged["completed"] else 0.0,
+        }
+        for tenant, count in sorted(merged["per_tenant"].items())
+    }
+    report = {
+        "benchmark": "fleet-loadgen",
+        "config": {
+            "clients": effective_clients,
+            "processes": processes,
+            "duration_s": duration_s,
+            "tenants": len(cfg["tenants"]),
+            "spec_space": len(cfg["spec_seeds"]),
+            "ops": ops,
+            "n_procs": n_procs,
+        },
+        "elapsed_s": round(elapsed, 3),
+        "totals": {
+            "completed": merged["completed"],
+            "rejected": merged["rejected"],
+            "errors": merged["errors"],
+            "throughput_jobs_per_s": round(merged["completed"] / elapsed, 2)
+            if elapsed else 0.0,
+        },
+        "latency_ms": {
+            "p50": round(percentile(latencies, 0.50) * 1000, 2),
+            "p90": round(percentile(latencies, 0.90) * 1000, 2),
+            "p99": round(percentile(latencies, 0.99) * 1000, 2),
+            "max": round(latencies[-1] * 1000, 2) if latencies else 0.0,
+            "mean": round(sum(latencies) / len(latencies) * 1000, 2)
+            if latencies else 0.0,
+        },
+        "cache": {
+            "hits": merged["hits"],
+            "misses": merged["misses"],
+            "served_fraction": round(merged["hits"] / lookups, 4) if lookups else 0.0,
+        },
+        "coalesce": {
+            "submitted": submitted_delta,
+            "coalesced": coalesced_delta,
+            "rate": round(coalesced_delta / submitted_delta, 4)
+            if submitted_delta else 0.0,
+        },
+        "tenants": per_tenant,
+        "fairness": {
+            "jain_index": round(
+                jain_index([float(c) for c in merged["per_tenant"].values()]), 4
+            ),
+        },
+        "fleet": after.get("fleet", {}),
+    }
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return report

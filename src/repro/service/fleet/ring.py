@@ -1,0 +1,152 @@
+"""Consistent-hash ring: which worker owns which ``point_key``.
+
+The fleet's routing question — *given a sweep point's cache key, which
+worker computes and caches it?* — must have an answer that is
+
+* **deterministic** — every coordinator (and every restart of the same
+  coordinator) maps a key to the same worker, or cached entries would
+  be invisible to their own owner;
+* **balanced** — keys spread evenly over workers, because a sweep's
+  points are embarrassingly parallel and the slowest shard gates the
+  campaign;
+* **stable under resize** — adding or losing a worker must move only
+  ``~K/N`` of the keyspace, not reshuffle everything, or a single
+  worker death would cold-start the whole fleet cache.
+
+A classic consistent-hash ring with virtual nodes gives all three:
+each worker hashes to ``vnodes`` points on a 2^256 circle (SHA-256 of
+``"worker_id#i"``), a key is owned by the first vnode clockwise from
+``SHA-256(key)``, and replicas are the next distinct workers around
+the circle.  SHA-256 keeps placement identical across processes and
+Python versions (no ``hash()`` randomisation) and reuses the digest
+family ``point_key`` itself is built on.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable
+
+__all__ = ["HashRing", "DEFAULT_VNODES"]
+
+#: Virtual nodes per worker.  64 keeps the max/min shard-load ratio of
+#: a small fleet within a few percent while the ring stays tiny
+#: (N * 64 sorted ints).
+DEFAULT_VNODES = 64
+
+
+def _hash_position(text: str) -> int:
+    """Position of ``text`` on the 2^256 circle."""
+    return int.from_bytes(hashlib.sha256(text.encode("utf-8")).digest(), "big")
+
+
+class HashRing:
+    """Virtual-node consistent-hash ring over worker ids.
+
+    Worker ids are opaque strings (the fleet uses stable worker names,
+    not URLs, so a worker keeps its keyspace across re-binds).  The
+    ring is rebuilt on membership change — membership changes are rare
+    (resize, death) and the rebuild is O(N * vnodes * log).
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), *, vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._nodes: set[str] = set()
+        self._positions: list[int] = []
+        self._owners: list[str] = []
+        for node in nodes:
+            self._nodes.add(node)
+        self._rebuild()
+
+    # -- membership ---------------------------------------------------
+
+    def add(self, node: str) -> None:
+        """Add a worker; only ~K/N keys change owner."""
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        self._rebuild()
+
+    def remove(self, node: str) -> None:
+        """Drop a worker; its keys fall to their ring successors."""
+        if node not in self._nodes:
+            return
+        self._nodes.remove(node)
+        self._rebuild()
+
+    def nodes(self) -> list[str]:
+        """Current members, sorted (stable for stats surfaces)."""
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def _rebuild(self) -> None:
+        pairs = sorted(
+            (_hash_position(f"{node}#{i}"), node)
+            for node in self._nodes
+            for i in range(self.vnodes)
+        )
+        self._positions = [p for p, _ in pairs]
+        self._owners = [n for _, n in pairs]
+
+    # -- lookup -------------------------------------------------------
+
+    def owner(self, key: str) -> str:
+        """The worker owning ``key`` (first vnode clockwise)."""
+        if not self._owners:
+            raise LookupError("hash ring is empty: no workers")
+        index = bisect.bisect_right(self._positions, _hash_position(key))
+        if index == len(self._positions):
+            index = 0  # wrap past the top of the circle
+        return self._owners[index]
+
+    def replicas(self, key: str, count: int) -> list[str]:
+        """Owner plus the next distinct workers clockwise, ``count`` total.
+
+        The replica set is capped at the membership size; the owner is
+        always first.  This is both the read-through probe order and
+        the replication fan-out for a fresh result.
+        """
+        if not self._owners:
+            raise LookupError("hash ring is empty: no workers")
+        count = min(count, len(self._nodes))
+        start = bisect.bisect_right(self._positions, _hash_position(key))
+        out: list[str] = []
+        for step in range(len(self._owners)):
+            node = self._owners[(start + step) % len(self._owners)]
+            if node not in out:
+                out.append(node)
+                if len(out) == count:
+                    break
+        return out
+
+    def successors(self, node: str, count: int) -> list[str]:
+        """The next ``count`` distinct workers after ``node``'s first vnode.
+
+        Used as a worker's *replica peer chain*: fresh results computed
+        by ``node`` are pushed to these workers, so after ``node`` dies
+        its keyspace (which falls to exactly these successors) is still
+        warm.
+        """
+        if node not in self._nodes:
+            raise LookupError(f"{node!r} is not on the ring")
+        others = [n for n in self._nodes if n != node]
+        count = min(count, len(others))
+        if count == 0:
+            return []
+        start = bisect.bisect_right(self._positions, _hash_position(f"{node}#0"))
+        out: list[str] = []
+        for step in range(len(self._owners)):
+            candidate = self._owners[(start + step) % len(self._owners)]
+            if candidate != node and candidate not in out:
+                out.append(candidate)
+                if len(out) == count:
+                    break
+        return out

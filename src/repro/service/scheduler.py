@@ -60,6 +60,9 @@ class Job:
 
     job_id: str
     spec: JobSpec
+    #: Tenant the submission was attributed to (fleet quota/fair-share
+    #: accounting; single-daemon jobs all ride the default tenant).
+    tenant: str = "default"
     status: str = "queued"  # queued | running | done | failed
     submitted_at: float = 0.0
     started_at: float | None = None
@@ -81,6 +84,8 @@ class Job:
             "kind": self.spec.kind,
             "status": self.status,
         }
+        if self.tenant != "default":
+            doc["tenant"] = self.tenant
         if self.started_at is not None and self.finished_at is not None:
             doc["seconds"] = self.finished_at - self.started_at
         if self.payload is not None:
@@ -127,6 +132,9 @@ class Scheduler:
         self.completed = 0
         self.failed = 0
         self.rejected = 0
+        #: Jobs still unfinished when a bounded-deadline close gave up.
+        self.stranded = 0
+        self._closing = False
         self._workers = [
             threading.Thread(target=self._worker, name=f"ksr-serve-{i}", daemon=True)
             for i in range(workers)
@@ -249,16 +257,54 @@ class Scheduler:
                 "completed": self.completed,
                 "failed": self.failed,
                 "rejected": self.rejected,
+                "stranded": self.stranded,
                 "coalesced": self._table.coalesced,
                 "max_points": self.max_points,
                 "max_batch": self.max_batch,
                 "backend": self.backend.name,
             }
 
-    def close(self) -> None:
-        """Drain workers and release the backend."""
-        for _ in self._workers:
-            self._queue.put(None)
+    def drain(self, deadline: float = 30.0) -> int:
+        """Wait up to ``deadline`` seconds for accepted jobs to settle.
+
+        Returns the number of jobs still unfinished when the deadline
+        expired (0 on a clean drain).  The caller is responsible for
+        having stopped admission first — this only *waits*, it cannot
+        hold back new submissions.
+        """
+        end = time.monotonic() + max(0.0, deadline)
+        while time.monotonic() < end:
+            with self._lock:
+                if self._queued == 0:
+                    return 0
+            time.sleep(0.02)
+        with self._lock:
+            return self._queued
+
+    def close(self, deadline: float = 30.0) -> int:
+        """Stop workers within ``deadline`` seconds; release the backend.
+
+        The drain is *bounded*: sentinels queue behind already-accepted
+        work, each worker thread gets a slice of the remaining budget,
+        and whatever is still running when the budget is spent is
+        counted in :attr:`stranded` (and returned) instead of being
+        waited on forever.  Idempotent.
+        """
+        with self._lock:
+            already_closing = self._closing
+            self._closing = True
+        if not already_closing:
+            for _ in self._workers:
+                self._queue.put(None)
+        end = time.monotonic() + max(0.0, deadline)
         for thread in self._workers:
-            thread.join(timeout=30)
-        self.backend.close()
+            thread.join(timeout=max(0.0, end - time.monotonic()))
+        with self._lock:
+            stranded = self._queued
+            self.stranded = stranded
+        if stranded == 0:
+            self.backend.close()
+        # else: a process-pool close() would block on the stranded
+        # job's futures, re-introducing the unbounded wait this
+        # deadline exists to prevent; the pool dies with the process.
+        return stranded

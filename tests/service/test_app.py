@@ -90,6 +90,53 @@ class TestEndpoints:
         assert status == 400 and "unknown job kind" in doc["error"]
 
 
+class TestStatusSurfaces:
+    def test_healthz_reports_cache_and_version(self, served):
+        base, app = served
+        status, doc = get(base, "/healthz")
+        assert status == 200
+        cache = doc["cache"]
+        assert cache["root"] == str(app.cache.root)
+        for counter in ("entries", "shards", "evictions", "corrupt", "remote_hits"):
+            assert counter in cache
+        version = doc["version"]
+        assert version["code"] and version["model"]
+
+    def test_stats_carry_version(self, served):
+        base, _ = served
+        status, doc = get(base, "/v1/stats")
+        assert status == 200
+        assert doc["version"]["code"]
+        assert doc["version"]["model"]
+
+
+class TestGracefulShutdown:
+    def test_draining_server_rejects_submissions_with_503(self, served):
+        base, app = served
+        app.begin_shutdown()
+        status, doc = get(base, "/healthz")
+        assert status == 200 and doc["status"] == "draining"
+        status, doc, headers = post(base, {"kind": "point", "params": {"ops": 3}})
+        assert status == 503
+        assert "draining" in doc["error"]
+        assert headers.get("Retry-After")
+
+    def test_close_drains_and_compacts(self, tmp_path):
+        app = ServiceApp(str(tmp_path / "cache"), backend="inline", workers=2)
+        from repro.service.jobs import JobSpec
+
+        jobs = [
+            app.scheduler.submit(
+                JobSpec.from_request({"kind": "point", "params": {"ops": 3, "seed": i}})
+            )
+            for i in range(3)
+        ]
+        stranded = app.close(drain_deadline=120)
+        assert stranded == 0
+        assert all(job.status == "done" for job in jobs)
+        assert app.closing
+
+
 class TestJobs:
     def test_async_submit_then_poll(self, served):
         base, _ = served

@@ -1,0 +1,102 @@
+"""Consistent-hash ring: determinism, balance, resize stability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.fleet.ring import DEFAULT_VNODES, HashRing
+
+WORKERS = [f"worker-{i}" for i in range(4)]
+KEYS = [f"key-{i:05d}" for i in range(4000)]
+
+
+class TestLookup:
+    def test_owner_is_deterministic_across_instances(self):
+        a = HashRing(WORKERS)
+        b = HashRing(reversed(WORKERS))  # construction order must not matter
+        for key in KEYS[:200]:
+            assert a.owner(key) == b.owner(key)
+
+    def test_empty_ring_raises(self):
+        ring = HashRing()
+        with pytest.raises(LookupError):
+            ring.owner("anything")
+        with pytest.raises(LookupError):
+            ring.replicas("anything", 2)
+
+    def test_membership_protocol(self):
+        ring = HashRing(WORKERS)
+        assert len(ring) == 4
+        assert "worker-0" in ring and "worker-9" not in ring
+        assert ring.nodes() == sorted(WORKERS)
+        ring.add("worker-0")  # idempotent
+        ring.remove("worker-9")  # absent: no-op
+        assert len(ring) == 4
+
+    def test_vnodes_validated(self):
+        with pytest.raises(ValueError):
+            HashRing(WORKERS, vnodes=0)
+
+
+class TestBalance:
+    def test_keys_spread_over_all_workers(self):
+        ring = HashRing(WORKERS, vnodes=DEFAULT_VNODES)
+        counts = {w: 0 for w in WORKERS}
+        for key in KEYS:
+            counts[ring.owner(key)] += 1
+        shares = [c / len(KEYS) for c in counts.values()]
+        # 64 vnodes keeps a 4-worker fleet within loose bounds of 1/4.
+        assert min(shares) > 0.10
+        assert max(shares) < 0.45
+
+
+class TestResizeStability:
+    def test_removal_only_moves_the_dead_workers_keys(self):
+        ring = HashRing(WORKERS)
+        before = {key: ring.owner(key) for key in KEYS}
+        ring.remove("worker-2")
+        for key, old_owner in before.items():
+            new_owner = ring.owner(key)
+            if old_owner != "worker-2":
+                assert new_owner == old_owner, "surviving keys must not move"
+            else:
+                assert new_owner != "worker-2"
+
+    def test_addition_only_pulls_keys_to_the_new_worker(self):
+        ring = HashRing(WORKERS)
+        before = {key: ring.owner(key) for key in KEYS}
+        ring.add("worker-new")
+        moved = 0
+        for key, old_owner in before.items():
+            new_owner = ring.owner(key)
+            if new_owner != old_owner:
+                assert new_owner == "worker-new"
+                moved += 1
+        # ~K/(N+1) of the keyspace moves, nothing close to a reshuffle.
+        assert 0 < moved < len(KEYS) // 2
+
+
+class TestReplicas:
+    def test_owner_first_distinct_and_capped(self):
+        ring = HashRing(WORKERS)
+        for key in KEYS[:100]:
+            replicas = ring.replicas(key, 3)
+            assert replicas[0] == ring.owner(key)
+            assert len(replicas) == 3
+            assert len(set(replicas)) == 3
+        assert len(ring.replicas("k", 99)) == len(WORKERS)
+
+    def test_successors_exclude_self_and_cap(self):
+        ring = HashRing(WORKERS)
+        successors = ring.successors("worker-0", 2)
+        assert len(successors) == 2
+        assert "worker-0" not in successors
+        assert len(set(successors)) == 2
+        assert ring.successors("worker-0", 99) == ring.successors("worker-0", 3)
+        with pytest.raises(LookupError):
+            ring.successors("not-a-member", 1)
+
+    def test_single_worker_has_no_successors(self):
+        ring = HashRing(["only"])
+        assert ring.successors("only", 2) == []
+        assert ring.replicas("k", 3) == ["only"]

@@ -163,6 +163,101 @@ class TestAdmission:
             scheduler.close()
 
 
+class TestConcurrentAdmission:
+    """Many threads slam the scheduler with identical specs at once."""
+
+    def test_identical_specs_from_many_threads_coalesce_to_one_job(
+        self, tmp_path, monkeypatch
+    ):
+        scheduler = make_scheduler(tmp_path, queue_cap=4)
+        gate = threading.Event()
+        _gate_execute(monkeypatch, gate)
+        n_threads = 16
+        barrier = threading.Barrier(n_threads)
+        jobs: list = [None] * n_threads
+
+        def slam(index: int) -> None:
+            barrier.wait(timeout=30)
+            jobs[index] = scheduler.submit(point_spec(ops=999))
+
+        try:
+            threads = [
+                threading.Thread(target=slam, args=(i,)) for i in range(n_threads)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            # every submitter holds the SAME in-flight job object
+            assert all(job is jobs[0] for job in jobs)
+            assert scheduler.stats()["coalesced"] == n_threads - 1
+            assert scheduler.stats()["submitted"] == n_threads
+            gate.set()
+            assert jobs[0].wait(120) and jobs[0].status == "done"
+            # one execution, observed by everyone
+            assert scheduler.stats()["completed"] == 1
+        finally:
+            gate.set()
+            scheduler.close()
+
+    def test_concurrent_overflow_rejections_price_retry_after(
+        self, tmp_path, monkeypatch
+    ):
+        scheduler = make_scheduler(tmp_path, queue_cap=2)
+        gate = threading.Event()
+        _gate_execute(monkeypatch, gate)
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        outcomes: list = [None] * n_threads
+
+        def slam(index: int) -> None:
+            barrier.wait(timeout=30)
+            try:
+                # distinct specs: no coalescing, pure queue pressure
+                outcomes[index] = scheduler.submit(point_spec(ops=999, seed=index))
+            except RejectedError as exc:
+                outcomes[index] = exc
+
+        try:
+            # ops=999 parks the single worker, so accepted jobs pile up
+            threads = [
+                threading.Thread(target=slam, args=(i,)) for i in range(n_threads)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            rejections = [o for o in outcomes if isinstance(o, RejectedError)]
+            accepted = [o for o in outcomes if not isinstance(o, RejectedError)]
+            assert len(accepted) == 2, "accepted set must respect queue_cap"
+            assert len(rejections) == n_threads - 2
+            for rejection in rejections:
+                assert rejection.status == 429
+                assert rejection.retry_after >= 1.0
+            assert scheduler.rejected == len(rejections)
+            gate.set()
+            for job in accepted:
+                assert job.wait(120)
+        finally:
+            gate.set()
+            scheduler.close()
+
+
+class TestGracefulClose:
+    def test_close_drains_accepted_jobs_and_reports_zero_stranded(self, tmp_path):
+        scheduler = make_scheduler(tmp_path, queue_cap=8)
+        jobs = [scheduler.submit(point_spec(ops=3, seed=i)) for i in range(4)]
+        stranded = scheduler.close(deadline=120)
+        assert stranded == 0
+        assert all(job.status == "done" for job in jobs)
+        assert scheduler.stats()["stranded"] == 0
+
+    def test_close_is_idempotent(self, tmp_path):
+        scheduler = make_scheduler(tmp_path)
+        assert scheduler.close() == 0
+        assert scheduler.close() == 0
+
+
 class TestStats:
     def test_stats_counters(self, tmp_path):
         scheduler = make_scheduler(tmp_path)
