@@ -26,6 +26,7 @@ check asserts its ≥95%-hits-on-resubmit property against.
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -36,10 +37,28 @@ from repro.service.cache2 import ShardedResultCache
 from repro.service.jobs import JobSpec, ServiceError, describe_catalog
 from repro.service.scheduler import RejectedError, Scheduler
 
-__all__ = ["ServiceApp", "make_server", "version_info"]
+__all__ = ["ServiceApp", "make_server", "version_info", "drain_retry_after",
+           "DEFAULT_DRAIN_DEADLINE"]
 
 #: Longest a ``"wait": true`` submission may block the handler thread.
 MAX_WAIT_SECONDS = 600.0
+
+#: Drain budget assumed when shutdown starts without an explicit one
+#: (matches the ``--drain-deadline`` CLI default).
+DEFAULT_DRAIN_DEADLINE = 30.0
+
+
+def drain_retry_after(drain_ends_at: float | None) -> int:
+    """Whole seconds until a drain deadline passes (floor 1).
+
+    The ``Retry-After`` a draining server sends with its 503s: derived
+    from the actual drain budget remaining — the moment a restarted
+    process could plausibly answer — not a hardcoded constant, the same
+    way the 429 path derives its hint from observed service times.
+    """
+    if drain_ends_at is None:
+        return 1
+    return max(1, math.ceil(drain_ends_at - time.monotonic()))
 
 _version_info: dict[str, str] | None = None
 
@@ -88,15 +107,26 @@ class ServiceApp:
         )
         self.started_at = time.time()
         self._closing = threading.Event()
+        self._drain_ends_at: float | None = None
 
     @property
     def closing(self) -> bool:
         """Whether the app has begun its shutdown sequence (503s)."""
         return self._closing.is_set()
 
-    def begin_shutdown(self) -> None:
-        """Stop admitting: every later submission is answered 503."""
+    def begin_shutdown(self, drain_deadline: float = DEFAULT_DRAIN_DEADLINE) -> None:
+        """Stop admitting: every later submission is answered 503.
+
+        The first call pins the drain deadline; 503 ``Retry-After``
+        hints count down against it.
+        """
+        if not self._closing.is_set():
+            self._drain_ends_at = time.monotonic() + max(0.0, drain_deadline)
         self._closing.set()
+
+    def drain_retry_after(self) -> int:
+        """Seconds a 503'd client should wait before resubmitting."""
+        return drain_retry_after(self._drain_ends_at)
 
     def close(self, *, drain_deadline: float = 30.0) -> int:
         """Graceful shutdown: stop admitting, drain, flush, release.
@@ -107,7 +137,7 @@ class ServiceApp:
         backend is released.  Returns the number of jobs stranded by
         the deadline (0 on a clean exit).
         """
-        self.begin_shutdown()
+        self.begin_shutdown(drain_deadline)
         stranded = self.scheduler.close(deadline=drain_deadline)
         try:
             self.cache.compact_manifest()
@@ -156,7 +186,7 @@ class ServiceApp:
             return (
                 503,
                 {"error": "server is draining; resubmit elsewhere"},
-                {"Retry-After": "5"},
+                {"Retry-After": str(self.drain_retry_after())},
             )
         try:
             spec = JobSpec.from_request(body)

@@ -30,6 +30,7 @@ and filesystem state never touch simulated time.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import pickle
@@ -290,6 +291,29 @@ class ShardedResultCache:
     def entry_count(self) -> int:
         """Number of entries currently on disk."""
         return len(self._resident())
+
+    def keys(self) -> list[str]:
+        """Sorted point keys currently resident in this shard.
+
+        The fleet repair planner diffs these lists across workers to
+        find under-replicated keys, so the answer is local disk truth
+        — no counters move and :attr:`remote_fetch` is not consulted.
+        """
+        return sorted(key for _, _, key, _ in self._resident())
+
+    def fingerprint(self) -> str:
+        """Digest of the resident key set (shard identity at a glance).
+
+        Workers advertise this at registration so the coordinator can
+        tell a warm rejoin (same fingerprint lineage) from a wiped
+        shard at a glance in its membership surfaces.  Content-only:
+        two shards holding the same keys fingerprint identically.
+        """
+        digest = hashlib.sha256()
+        for key in self.keys():
+            digest.update(key.encode("ascii"))
+            digest.update(b"\n")
+        return digest.hexdigest()[:16]
 
     def shard_count(self) -> int:
         """Populated second-level shard directories (``objects/ab/cd``)."""

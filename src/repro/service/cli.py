@@ -34,6 +34,26 @@ a resubmission is ≥95% cache-served by the worker shards.
 against a local fleet and writes throughput/latency/cache/fairness
 numbers into ``BENCH_fleet.json``.
 
+Multi-host mode splits the fleet across real processes/machines::
+
+    # terminal 1 (or host A): the front door, fleet starts empty
+    KSR_FLEET_TOKEN=$TOKEN ksr-serve --coordinator --port 8321
+
+    # terminals 2..N (or hosts B..): workers dial in and register
+    KSR_FLEET_TOKEN=$TOKEN ksr-serve --worker --join http://hostA:8321
+    KSR_FLEET_TOKEN=$TOKEN ksr-serve --worker --join http://hostA:8321
+
+Workers register over ``POST /v1/fleet/register`` and keep
+re-registering (the worker-side heartbeat); the coordinator admits
+them into the consistent-hash ring with a bounded key-range rebalance,
+detects death via heartbeats, and after ``--dead-interval`` seconds
+re-replicates the lost worker's key range from surviving replicas.
+Every fleet control/data-plane call carries the shared secret
+(``--fleet-token`` / ``$KSR_FLEET_TOKEN``) in ``X-Fleet-Token``.
+``--multihost-smoke EXPERIMENT`` is the CI self-test: coordinator +
+worker OS processes over real sockets, byte-identity vs a single
+daemon, a SIGKILL, and a replication-factor-restored assertion.
+
 On SIGTERM/SIGINT the server drains gracefully: admission stops
 (503), in-flight jobs get a bounded deadline, the cache manifest is
 compacted, then the process exits.
@@ -177,6 +197,85 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--loadgen-out", default="BENCH_fleet.json", metavar="FILE",
         help="report artifact path (default BENCH_fleet.json)",
     )
+    multihost = parser.add_argument_group("multi-host mode")
+    multihost.add_argument(
+        "--coordinator",
+        action="store_true",
+        help="serve a standalone coordinator with an empty fleet; workers "
+        "join at runtime via POST /v1/fleet/register",
+    )
+    multihost.add_argument(
+        "--worker",
+        action="store_true",
+        help="serve a standalone fleet worker that registers with the "
+        "coordinator named by --join",
+    )
+    multihost.add_argument(
+        "--join",
+        metavar="URL",
+        default=None,
+        help="coordinator base URL a --worker registers with",
+    )
+    multihost.add_argument(
+        "--worker-id",
+        metavar="NAME",
+        default=None,
+        help="stable worker identity (default worker-<host>-<pid>); keep "
+        "it stable across restarts to rejoin with the same shard",
+    )
+    multihost.add_argument(
+        "--advertise",
+        metavar="URL",
+        default=None,
+        help="base URL the coordinator should reach this worker at "
+        "(default http://<bind-host>:<bound-port>)",
+    )
+    multihost.add_argument(
+        "--fleet-token",
+        metavar="TOKEN",
+        default=None,
+        help="shared secret for X-Fleet-Token auth on every fleet "
+        "control/data-plane call (default $KSR_FLEET_TOKEN; unset: open, "
+        "for TLS-terminated deployments)",
+    )
+    multihost.add_argument(
+        "--dead-interval",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="seconds a worker may stay dead before the coordinator "
+        "re-replicates its key range from surviving replicas (default 10)",
+    )
+    multihost.add_argument(
+        "--register-interval",
+        type=float,
+        default=5.0,
+        metavar="S",
+        help="seconds between a worker's re-registrations (the worker-side "
+        "heartbeat; default 5)",
+    )
+    multihost.add_argument(
+        "--multihost-smoke",
+        metavar="EXPERIMENT",
+        default=None,
+        help="multi-host self-test: coordinator + worker OS processes over "
+        "real sockets; asserts byte-identity with a single daemon, 401 on "
+        "tokenless fleet calls, and replication-factor restoration after a "
+        "SIGKILL, then exits",
+    )
+    multihost.add_argument(
+        "--multihost-workers",
+        type=int,
+        default=3,
+        metavar="N",
+        help="worker processes the multi-host smoke spawns (default 3)",
+    )
+    multihost.add_argument(
+        "--multihost-stats-out",
+        default="BENCH_multihost.json",
+        metavar="FILE",
+        help="multi-host smoke stats artifact (default BENCH_multihost.json)",
+    )
     parser.add_argument(
         "--verbose", action="store_true", help="log requests and cache stats"
     )
@@ -279,7 +378,11 @@ def _make_fleet(args, *, n_workers: int | None = None, **overrides):
         worker_threads=args.workers,
         max_points=args.max_points,
         max_batch=args.max_batch,
+        dead_interval=args.dead_interval,
     )
+    auth = _fleet_auth(args)
+    if auth.enabled:  # else LocalFleet generates its own secret
+        options["auth"] = auth
     options.update(overrides)
     return LocalFleet(_fleet_cache_root(args), **options)
 
@@ -417,6 +520,359 @@ def run_loadgen_cmd(args) -> int:
     return 0
 
 
+def _fleet_auth(args):
+    """Shared-secret auth from ``--fleet-token`` or ``$KSR_FLEET_TOKEN``."""
+    import os
+
+    from repro.service.fleet import FleetAuth
+    from repro.service.fleet.wire import FLEET_TOKEN_ENV
+
+    token = args.fleet_token or os.environ.get(FLEET_TOKEN_ENV) or None
+    return FleetAuth(token)
+
+
+def _fleet_get(
+    base: str, path: str, *, token: str | None = None, timeout: float = 10.0
+) -> tuple[int, dict]:
+    """GET a JSON surface, optionally presenting the fleet token."""
+    import urllib.error
+
+    from repro.service.fleet.wire import FLEET_TOKEN_HEADER
+
+    headers = {FLEET_TOKEN_HEADER: token} if token else {}
+    request = urllib.request.Request(base + path, headers=headers)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def _poll_until(deadline_s: float, probe, interval: float = 0.2):
+    """Re-run ``probe`` until it returns truthy or the deadline passes."""
+    import time
+
+    end = time.monotonic() + deadline_s
+    while time.monotonic() < end:
+        try:
+            result = probe()
+        except OSError:
+            result = None  # endpoint not up yet; keep polling
+        if result:
+            return result
+        time.sleep(interval)
+    return None
+
+
+def run_worker(args) -> int:
+    """``ksr-serve --worker --join URL``: one standalone fleet worker."""
+    import os
+    import socket
+    from pathlib import Path
+
+    from repro.service.fleet import FleetWorkerApp, Registrar, make_worker_server
+
+    if not args.join:
+        raise SystemExit("--worker requires --join COORDINATOR_URL")
+    auth = _fleet_auth(args)
+    backend = args.backend or (f"process:{args.jobs}" if args.jobs else "inline")
+    worker_id = args.worker_id or f"worker-{socket.gethostname()}-{os.getpid()}"
+    root = _fleet_cache_root(args)
+    # An explicit --cache-dir IS the shard; the default root gets a
+    # per-worker subdirectory so co-hosted workers never share a shard.
+    cache_dir = root if args.cache_dir else str(Path(root) / worker_id)
+    cap = int(args.cache_cap_mb * 1024 * 1024) if args.cache_cap_mb else None
+    app = FleetWorkerApp(
+        cache_dir,
+        worker_id=worker_id,
+        backend=backend,
+        cap_bytes=cap,
+        workers=args.workers,
+        queue_cap=args.queue_cap,
+        max_points=args.max_points,
+        max_batch=args.max_batch,
+        auth=auth,
+    )
+    server = make_worker_server(app, args.host, args.port, verbose=args.verbose)
+    host, port = server.server_address[0], server.server_address[1]
+    advertised = (args.advertise or f"http://{host}:{port}").rstrip("/")
+    registrar = Registrar(app, args.join, advertised,
+                          interval=args.register_interval)
+    registrar.start()
+    print(f"ksr-serve worker {worker_id} listening on http://{host}:{port}")
+    print(f"  joining {args.join} as {advertised} "
+          f"(re-register every {args.register_interval:.0f}s)")
+    print(f"  shard {cache_dir}, "
+          f"auth {'on' if auth.enabled else 'OFF (open fleet plane)'}")
+
+    def close() -> int:
+        registrar.stop()
+        return app.close(drain_deadline=args.drain_deadline)
+
+    return _serve_until_signal(
+        f"ksr-serve worker {worker_id}", server, close, args.drain_deadline
+    )
+
+
+def run_coordinator(args) -> int:
+    """``ksr-serve --coordinator``: the fleet front door, starting empty."""
+    from repro.service.fleet import (
+        CoordinatorApp,
+        FleetClient,
+        make_coordinator_server,
+    )
+
+    auth = _fleet_auth(args)
+    client = FleetClient(
+        replication=args.replication,
+        dead_interval=args.dead_interval,
+        auth=auth,
+    )
+    coordinator = CoordinatorApp(
+        client,
+        exec_workers=max(args.workers, 4),
+        queue_cap=args.queue_cap,
+        max_points=args.max_points,
+    )
+    server = make_coordinator_server(
+        coordinator, args.host, args.port, verbose=args.verbose
+    )
+    host, port = server.server_address[0], server.server_address[1]
+    print(f"ksr-serve coordinator listening on http://{host}:{port}")
+    print(f"  fleet starts empty; workers join via "
+          f"`ksr-serve --worker --join http://{host}:{port}`")
+    print(f"  replication {args.replication}, "
+          f"dead interval {args.dead_interval:.0f}s, "
+          f"auth {'on' if auth.enabled else 'OFF (open fleet plane)'}")
+    return _serve_until_signal(
+        "ksr-serve coordinator",
+        server,
+        lambda: coordinator.close(drain_deadline=args.drain_deadline),
+        args.drain_deadline,
+    )
+
+
+def run_multihost_smoke(args) -> int:
+    """Multi-host CI self-test: real worker OS processes join the fleet.
+
+    Starts a coordinator with an empty fleet, spawns
+    ``--multihost-workers`` separate ``ksr-serve --worker --join``
+    processes that register over real sockets, then proves the
+    multi-host contract end to end:
+
+    1. tokenless fleet-plane requests are rejected (401);
+    2. a campaign served by the registered fleet is byte-identical to
+       a single-daemon run;
+    3. SIGKILLing a populated worker past the dead interval triggers
+       re-replication that restores the replication factor
+       (``under_replicated == 0`` again), and a resubmitted campaign
+       still completes, cache-served — no job lost.
+
+    The before/after replication reports land in
+    ``--multihost-stats-out`` as a CI artifact.
+    """
+    import os
+    import subprocess
+    import tempfile
+
+    from repro.service.app import ServiceApp, make_server
+    from repro.service.fleet import (
+        CoordinatorApp,
+        FleetAuth,
+        FleetClient,
+        make_coordinator_server,
+    )
+    from repro.service.fleet.wire import FLEET_TOKEN_ENV
+
+    n_workers = args.multihost_workers
+    token = (args.fleet_token or os.environ.get(FLEET_TOKEN_ENV)
+             or FleetAuth.generate().secret)
+    body = {"kind": "experiment", "experiment": args.multihost_smoke,
+            "wait": True}
+
+    def fail(message: str) -> int:
+        print(f"multihost-smoke: {message}", file=sys.stderr)
+        return 1
+
+    with tempfile.TemporaryDirectory(prefix="ksr-multihost-") as tmp:
+        # -- reference: one daemon, cold cache --------------------------
+        app = ServiceApp(f"{tmp}/single", backend="inline", workers=2)
+        server = make_server(app, "127.0.0.1", 0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://{server.server_address[0]}:{server.server_address[1]}"
+        try:
+            single = post_job(base, body)
+        finally:
+            server.shutdown()
+            thread.join(timeout=10)
+            app.close()
+        if single.get("status") != "done":
+            return fail(f"single-daemon reference failed: {single}")
+        single_payload = json.dumps(single["result"], sort_keys=True)
+
+        # -- the fleet: in-process coordinator, subprocess workers ------
+        client = FleetClient(
+            replication=args.replication,
+            dead_interval=args.dead_interval,
+            health_timeout=2.0,
+            auth=FleetAuth(token),
+        )
+        coordinator = CoordinatorApp(
+            client,
+            exec_workers=4,
+            queue_cap=args.queue_cap,
+            max_points=args.max_points,
+            heartbeat_interval=0.5,
+        )
+        coord_server = make_coordinator_server(coordinator, "127.0.0.1", 0)
+        coord_thread = threading.Thread(
+            target=coord_server.serve_forever, daemon=True
+        )
+        coord_thread.start()
+        coord = (f"http://{coord_server.server_address[0]}"
+                 f":{coord_server.server_address[1]}")
+        env = dict(os.environ)
+        env[FLEET_TOKEN_ENV] = token
+        procs: list[subprocess.Popen] = []
+        try:
+            for i in range(n_workers):
+                procs.append(subprocess.Popen(
+                    [
+                        sys.executable, "-m", "repro.service.cli",
+                        "--worker", "--join", coord,
+                        "--worker-id", f"mh-worker-{i}",
+                        "--port", "0",
+                        "--backend", "inline",
+                        "--cache-dir", f"{tmp}/mh-worker-{i}",
+                        "--register-interval", "1",
+                    ],
+                    env=env,
+                ))
+            status, _ = _fleet_get(coord, "/v1/fleet/workers")
+            if status != 401:
+                return fail(f"tokenless fleet request got {status}, want 401")
+
+            def registered():
+                status, doc = _fleet_get(
+                    coord, "/v1/fleet/workers", token=token
+                )
+                if status == 200 and len(doc.get("alive", [])) == n_workers:
+                    return doc
+                return None
+
+            members = _poll_until(60.0, registered)
+            if members is None:
+                return fail(f"{n_workers} workers never registered")
+            print(f"multihost-smoke: {n_workers} worker processes joined: "
+                  f"{', '.join(members['alive'])}")
+
+            first = post_job(coord, body)
+            if first.get("status") != "done":
+                return fail(f"federated run failed: {first}")
+            if json.dumps(first["result"], sort_keys=True) != single_payload:
+                return fail("federated result differs from single daemon")
+            print("multihost-smoke: federated output byte-identical to "
+                  "single daemon")
+
+            # Wait for async replication to land: every key at factor.
+            def settled():
+                status, doc = _fleet_get(
+                    coord, "/v1/fleet/replication", token=token
+                )
+                if (status == 200 and doc.get("keys", 0) > 0
+                        and doc["under_replicated"] == 0):
+                    return doc
+                return None
+
+            before = _poll_until(30.0, settled)
+            if before is None:
+                return fail("replication never reached the full factor")
+            print(f"multihost-smoke: {before['keys']} keys at replication "
+                  f"{before['replication']} across {before['alive']} workers")
+
+            # SIGKILL a worker that actually holds entries.
+            victim = None
+            for wid, info in members["workers"].items():
+                status, doc = _fleet_get(
+                    info["base_url"], "/v1/fleet/keys", token=token
+                )
+                if status == 200 and doc["count"] > 0:
+                    victim = wid
+                    break
+            if victim is None:
+                return fail("no worker holds any entry; nothing to kill")
+            procs[int(victim.rsplit("-", 1)[1])].kill()
+            print(f"multihost-smoke: SIGKILLed {victim}; waiting out the "
+                  f"{args.dead_interval:.0f}s dead interval")
+
+            def repaired():
+                status, doc = _fleet_get(coord, "/v1/stats", token=token)
+                if status != 200:
+                    return None
+                fleet = doc["fleet"]
+                report = fleet.get("replication_status") or {}
+                if (fleet["repairs"] >= 1
+                        and victim not in fleet["alive"]
+                        and report.get("alive") == n_workers - 1
+                        and report.get("keys", 0) > 0
+                        and report.get("under_replicated") == 0):
+                    return fleet
+                return None
+
+            fleet = _poll_until(args.dead_interval + 60.0, repaired)
+            if fleet is None:
+                return fail("re-replication never restored the factor")
+            after = fleet["replication_status"]
+            print(f"multihost-smoke: re-replication restored the factor "
+                  f"({fleet['re_replicated']} entries pushed, "
+                  f"{after['keys']} keys, 0 under-replicated)")
+
+            second = post_job(coord, body)
+            if second.get("status") != "done":
+                return fail(f"post-kill resubmission failed: {second}")
+            if json.dumps(second["result"], sort_keys=True) != single_payload:
+                return fail("post-kill result differs from single daemon")
+            stats = second["cache"]
+            lookups = stats["hits"] + stats["misses"]
+            rate = stats["hits"] / lookups if lookups else 0.0
+            print(f"multihost-smoke: post-kill resubmit {stats['hits']}/"
+                  f"{lookups} cache-served ({rate:.0%}); no job lost")
+            if rate < 0.95:
+                return fail("post-kill resubmit cache-served rate under 95%")
+
+            artifact = {
+                "benchmark": "multihost-smoke",
+                "experiment": args.multihost_smoke,
+                "workers": n_workers,
+                "auth": True,
+                "victim": victim,
+                "replication_before": before,
+                "replication_after": after,
+                "repairs": fleet["repairs"],
+                "re_replicated": fleet["re_replicated"],
+                "registrations": fleet["registrations"],
+                "cache_served_rate": round(rate, 4),
+            }
+            with open(args.multihost_stats_out, "w", encoding="utf-8") as fh:
+                json.dump(artifact, fh, indent=2, sort_keys=True)
+            print(f"multihost-smoke: stats written to "
+                  f"{args.multihost_stats_out}")
+            return 0
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.terminate()
+            for proc in procs:
+                try:
+                    proc.wait(timeout=15)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+            coord_server.shutdown()
+            coord_thread.join(timeout=10)
+            coordinator.close(drain_deadline=5)
+
+
 def _serve_until_signal(serve_label: str, server, close, deadline: float) -> int:
     """Run ``server`` until SIGTERM/SIGINT, then drain gracefully."""
     stop = threading.Event()
@@ -449,7 +905,7 @@ def _serve_until_signal(serve_label: str, server, close, deadline: float) -> int
 
 def run_fleet_serve(args) -> int:
     """``ksr-serve --fleet N``: a local fleet behind one coordinator port."""
-    from repro.service.app import make_server
+    from repro.service.fleet import make_coordinator_server
 
     fleet = _make_fleet(args)
     # Re-bind the coordinator onto the requested public port.
@@ -457,7 +913,9 @@ def run_fleet_serve(args) -> int:
     fleet._coord.server.shutdown()
     fleet._coord.server.server_close()
     fleet._coord.thread.join(timeout=10)
-    server = make_server(coordinator, args.host, args.port, verbose=args.verbose)
+    server = make_coordinator_server(
+        coordinator, args.host, args.port, verbose=args.verbose
+    )
     host, port = server.server_address[0], server.server_address[1]
     print(f"ksr-serve fleet listening on http://{host}:{port}")
     for wid, url in sorted(fleet.worker_urls().items()):
@@ -481,8 +939,14 @@ def main(argv: list[str] | None = None) -> int:
         return run_smoke(args)
     if args.fleet_smoke:
         return run_fleet_smoke(args)
+    if args.multihost_smoke:
+        return run_multihost_smoke(args)
     if args.loadgen:
         return run_loadgen_cmd(args)
+    if args.worker:
+        return run_worker(args)
+    if args.coordinator:
+        return run_coordinator(args)
     if args.fleet:
         return run_fleet_serve(args)
     from repro.service.app import make_server

@@ -33,6 +33,7 @@ from repro.service.fleet.coordinator import (
     FleetScheduler,
     FleetSweepRunner,
     WorkerHandle,
+    make_coordinator_server,
 )
 from repro.service.fleet.loadgen import run_loadgen
 from repro.service.fleet.local import LocalFleet
@@ -43,23 +44,30 @@ from repro.service.fleet.quotas import (
     TokenBucket,
 )
 from repro.service.fleet.ring import HashRing
-from repro.service.fleet.wire import WireError
-from repro.service.fleet.worker import FleetWorkerApp, make_worker_server
+from repro.service.fleet.wire import FleetAuth, WireError
+from repro.service.fleet.worker import (
+    FleetWorkerApp,
+    Registrar,
+    make_worker_server,
+)
 
 __all__ = [
     "CoordinatorApp",
     "DEFAULT_TENANT",
     "FairShareQueue",
+    "FleetAuth",
     "FleetClient",
     "FleetScheduler",
     "FleetSweepRunner",
     "FleetWorkerApp",
     "HashRing",
     "LocalFleet",
+    "Registrar",
     "TenantPolicy",
     "TokenBucket",
     "WireError",
     "WorkerHandle",
+    "make_coordinator_server",
     "make_worker_server",
     "run_loadgen",
 ]

@@ -33,7 +33,11 @@ from typing import Any, Callable, Sequence
 
 from repro.experiments.sweep import SweepRunner, point_key
 from repro.obs.summary import capture_summary
-from repro.service.app import version_info
+from repro.service.app import (
+    DEFAULT_DRAIN_DEADLINE,
+    drain_retry_after,
+    version_info,
+)
 from repro.service.backends import harvest_captures
 from repro.service.batching import JobTable, estimate_points
 from repro.service.fleet import wire
@@ -48,7 +52,7 @@ from repro.service.jobs import JobSpec, ServiceError, describe_catalog
 from repro.service.scheduler import Job, RejectedError
 
 __all__ = ["WorkerHandle", "FleetClient", "FleetSweepRunner", "FleetScheduler",
-           "CoordinatorApp"]
+           "CoordinatorApp", "make_coordinator_server"]
 
 
 @dataclass
@@ -62,42 +66,73 @@ class WorkerHandle:
     failures: int = 0
     last_seen: float = 0.0
     version: dict[str, str] = field(default_factory=dict)
+    fingerprint: str = ""
+    registered: bool = False
+    dead_since: float | None = None
+    repaired: bool = False
 
     def describe(self) -> dict[str, Any]:
-        """JSON-able membership summary for status surfaces."""
+        """JSON-able membership summary for status surfaces.
+
+        ``last_seen`` goes out as an *age* in seconds (a raw monotonic
+        stamp is meaningless to a reader on another clock), and
+        ``version`` rides along so a version-gated worker's mismatch
+        is visible right where its ``reason`` says "version mismatch".
+        """
         return {
             "worker_id": self.worker_id,
             "base_url": self.base_url,
             "alive": self.alive,
             "reason": self.reason,
             "failures": self.failures,
+            "last_seen_age_s": (
+                round(time.monotonic() - self.last_seen, 3)
+                if self.last_seen else None
+            ),
+            "version": dict(self.version),
+            "fingerprint": self.fingerprint,
+            "registered": self.registered,
         }
 
 
 class FleetClient:
-    """Routes point batches to workers; owns ring membership + health."""
+    """Routes point batches to workers; owns ring membership + health.
+
+    Membership is dynamic: the fleet may start empty (a multi-host
+    coordinator waiting for ``--worker --join`` daemons to register)
+    and grows/shrinks through :meth:`register_worker`, heartbeat
+    verdicts and the dead-interval reaper.  Every membership change
+    that *gains* a worker a key range — a join, a rejoin, a handoff
+    outliving the dead interval — funnels into :meth:`repair`, the one
+    re-replication path, so the replication factor is restored instead
+    of silently running degraded.
+    """
 
     def __init__(
         self,
-        workers: dict[str, str],
+        workers: dict[str, str] | None = None,
         *,
         replication: int = 2,
         vnodes: int = DEFAULT_VNODES,
         map_timeout: float = 600.0,
         health_timeout: float = 5.0,
         max_failures: int = 2,
+        dead_interval: float = 10.0,
+        auth: wire.FleetAuth | None = None,
     ):
-        if not workers:
-            raise ValueError("a fleet needs at least one worker")
         if replication < 1:
             raise ValueError(f"replication must be >= 1, got {replication}")
+        if dead_interval < 0:
+            raise ValueError(f"dead_interval must be >= 0, got {dead_interval}")
         self.replication = replication
         self.map_timeout = map_timeout
         self.health_timeout = health_timeout
         self.max_failures = max_failures
+        self.dead_interval = dead_interval
+        self.auth = auth or wire.FleetAuth(None)
         self.workers = {
             wid: WorkerHandle(worker_id=wid, base_url=url.rstrip("/"))
-            for wid, url in workers.items()
+            for wid, url in (workers or {}).items()
         }
         self.ring = HashRing(self.workers, vnodes=vnodes)
         self._lock = threading.Lock()
@@ -105,6 +140,10 @@ class FleetClient:
         self._stop = threading.Event()
         self.handoffs = 0
         self.routed_points = 0
+        self.registrations = 0
+        self.repairs = 0
+        self.re_replicated = 0
+        self.last_replication: dict[str, Any] | None = None
         self.stats_totals = {"points": 0, "local_hits": 0, "remote_hits": 0,
                              "computed": 0}
 
@@ -123,19 +162,98 @@ class FleetClient:
                 return
             handle.alive = False
             handle.reason = reason
+            handle.dead_since = time.monotonic()
+            handle.repaired = False
             self.ring.remove(worker_id)
             self.handoffs += 1
 
-    def mark_alive(self, worker_id: str) -> None:
-        """Re-admit a worker to the ring (heartbeat answered sanely)."""
+    def mark_alive(self, worker_id: str) -> bool:
+        """Re-admit a worker to the ring (heartbeat answered sanely).
+
+        Returns whether this was a dead→alive *rejoin*.  The caller
+        must follow a rejoin with :meth:`repair`: keys written while
+        the worker was out exist only on the stand-in replicas, and
+        re-admission hands the worker its old key range back — without
+        re-replication it would own ranges it does not hold.
+        """
         with self._lock:
             handle = self.workers[worker_id]
-            if not handle.alive:
+            rejoined = not handle.alive
+            if rejoined:
                 handle.alive = True
                 handle.reason = ""
+                handle.dead_since = None
+                handle.repaired = False
                 self.ring.add(worker_id)
             handle.failures = 0
             handle.last_seen = time.monotonic()
+        return rejoined
+
+    def register_worker(
+        self,
+        worker_id: str,
+        base_url: str,
+        *,
+        version: dict[str, str] | None = None,
+        fingerprint: str = "",
+    ) -> dict[str, Any]:
+        """Admit (or re-admit) a standalone worker into the ring.
+
+        The multi-host join path (``POST /v1/fleet/register``): the
+        worker advertises its id, reachable base URL, code+model
+        version and shard fingerprint.  A version-mismatched worker is
+        refused outright (409) — its shard could never serve this
+        coordinator's keys.  Admission is followed by a bounded
+        key-range rebalance: only the ~K/N of the keyspace whose
+        replica set now includes the newcomer is re-replicated.
+        Re-registration is idempotent and doubles as the worker-side
+        heartbeat; a re-register after a crash updates the advertised
+        URL and rides the same repair path as a heartbeat rejoin.
+        """
+        version = dict(version or {})
+        my_code = version_info()["code"]
+        worker_code = version.get("code")
+        if worker_code is not None and worker_code != my_code:
+            raise ServiceError(
+                f"worker {worker_id!r} runs code {worker_code[:12]}…, this "
+                f"coordinator runs {my_code[:12]}…: version mismatch",
+                status=409,
+            )
+        base_url = base_url.rstrip("/")
+        with self._lock:
+            handle = self.workers.get(worker_id)
+            needs_repair = False
+            if handle is None:
+                handle = WorkerHandle(worker_id=worker_id, base_url=base_url)
+                self.workers[worker_id] = handle
+                self.ring.add(worker_id)
+                # A newcomer takes over ~K/N of the keyspace; warm it.
+                needs_repair = len(self.ring) > 1
+            else:
+                handle.base_url = base_url
+                if not handle.alive:
+                    handle.alive = True
+                    handle.reason = ""
+                    handle.dead_since = None
+                    handle.repaired = False
+                    self.ring.add(worker_id)
+                    needs_repair = True
+            handle.failures = 0
+            handle.last_seen = time.monotonic()
+            handle.version = version
+            handle.fingerprint = fingerprint
+            handle.registered = True
+            self.registrations += 1
+            description = handle.describe()
+            members = len(self.ring)
+        if needs_repair:
+            self.repair()
+        return {
+            "admitted": True,
+            "worker": description,
+            "workers": members,
+            "replication": self.replication,
+        }
 
     def check_health(self) -> dict[str, bool]:
         """One heartbeat round; returns ``worker_id -> alive`` after it.
@@ -149,6 +267,7 @@ class FleetClient:
         a matching version rejoins the ring.
         """
         my_version = version_info()["code"]
+        rejoined = False
         for handle in list(self.workers.values()):
             try:
                 status, doc = wire.get_json(
@@ -161,19 +280,55 @@ class FleetClient:
                 if failures >= self.max_failures:
                     self.mark_dead(handle.worker_id, "unreachable")
                 continue
+            worker_version = doc.get("version") or {}
+            with self._lock:
+                # Record what the worker advertised either way, so a
+                # version-gated handle *shows* the mismatching version.
+                handle.version = dict(worker_version)
             if status != 200 or doc.get("status") not in ("ok", "draining"):
                 self.mark_dead(handle.worker_id, f"unhealthy ({status})")
                 continue
-            worker_code = (doc.get("version") or {}).get("code")
+            worker_code = worker_version.get("code")
             if worker_code is not None and worker_code != my_version:
                 self.mark_dead(handle.worker_id, "version mismatch")
                 continue
             if doc.get("status") == "draining":
                 self.mark_dead(handle.worker_id, "draining")
                 continue
-            self.mark_alive(handle.worker_id)
+            rejoined |= self.mark_alive(handle.worker_id)
+        if rejoined:
+            # Rejoin-without-repair would hand the worker back key
+            # ranges it never saw written; re-replicate before routing
+            # leans on it as a replica.
+            self.repair()
         with self._lock:
             return {wid: h.alive for wid, h in self.workers.items()}
+
+    def reap_dead(self) -> bool:
+        """Re-replicate the key ranges of workers dead past the interval.
+
+        Permanent-loss handling: once a worker has been off the ring
+        for ``dead_interval`` seconds, its key range — now owned by
+        ring successors that may hold no copies — is restored to the
+        full replication factor from the surviving replicas.  Each
+        death triggers exactly one repair; returns whether one ran.
+        """
+        now = time.monotonic()
+        due = []
+        with self._lock:
+            for handle in self.workers.values():
+                if (
+                    not handle.alive
+                    and not handle.repaired
+                    and handle.dead_since is not None
+                    and now - handle.dead_since >= self.dead_interval
+                ):
+                    handle.repaired = True
+                    due.append(handle.worker_id)
+        if not due:
+            return False
+        self.repair()
+        return True
 
     def start_heartbeat(self, interval: float = 2.0) -> None:
         """Poll worker health on a daemon thread every ``interval`` s."""
@@ -183,6 +338,7 @@ class FleetClient:
         def loop() -> None:
             while not self._stop.wait(interval):
                 self.check_health()
+                self.reap_dead()
 
         self._heartbeat_thread = threading.Thread(
             target=loop, name="fleet-heartbeat", daemon=True
@@ -225,7 +381,8 @@ class FleetClient:
         }
         try:
             status, doc = wire.post_pickle(
-                f"{handle.base_url}/v1/fleet/map", body, timeout=self.map_timeout
+                f"{handle.base_url}/v1/fleet/map", body,
+                timeout=self.map_timeout, auth=self.auth,
             )
         except wire.WireError:
             return None
@@ -295,6 +452,113 @@ class FleetClient:
             self.stats_totals[name] += value if name != "points" else len(calls)
         return results, stats
 
+    # -- re-replication ------------------------------------------------
+
+    def _fetch_holders(
+        self, alive: Sequence[WorkerHandle]
+    ) -> dict[str, set[str]]:
+        """``key -> worker_ids holding a copy`` across the live fleet."""
+        holders: dict[str, set[str]] = {}
+        for handle in alive:
+            try:
+                status, doc = wire.get_json(
+                    f"{handle.base_url}/v1/fleet/keys",
+                    timeout=self.health_timeout, auth=self.auth,
+                )
+            except wire.WireError:
+                continue
+            if status != 200:
+                continue
+            for key in doc.get("keys", ()):
+                holders.setdefault(key, set()).add(handle.worker_id)
+        return holders
+
+    def replication_report(self) -> dict[str, Any]:
+        """Live census of how replicated every known key actually is.
+
+        Diffs each key's resident copies against its desired ring
+        replica set.  ``under_replicated`` counts keys missing from at
+        least one desired replica — the number :meth:`repair` drives to
+        zero.  The report is cached on ``last_replication`` so
+        ``/v1/stats`` can show it without re-polling the fleet.
+        """
+        alive = self.alive_workers()
+        holders = self._fetch_holders(alive)
+        with self._lock:
+            want_map = self.ring.replica_map(holders, self.replication)
+        histogram: dict[str, int] = {}
+        under = 0
+        min_copies = None
+        for key, have in holders.items():
+            copies = len(have)
+            histogram[str(copies)] = histogram.get(str(copies), 0) + 1
+            min_copies = copies if min_copies is None else min(min_copies, copies)
+            if any(wid not in have for wid in want_map[key]):
+                under += 1
+        report = {
+            "keys": len(holders),
+            "replication": self.replication,
+            "effective_replication": min(self.replication, len(alive)),
+            "alive": len(alive),
+            "histogram": histogram,
+            "min_copies": min_copies or 0,
+            "under_replicated": under,
+        }
+        self.last_replication = report
+        return report
+
+    def repair(self) -> dict[str, Any]:
+        """One re-replication round: restore the replication factor.
+
+        Pulls every live worker's resident key list, computes each
+        key's desired replica set on the current ring, and instructs
+        one holder of every under-replicated key to push copies to the
+        replica-set members that lack it (``POST /v1/fleet/repair``).
+        Push sources prefer a desired-replica holder so the copy comes
+        off a disk that will keep serving the key.  Best-effort per
+        worker — an unreachable holder just leaves its keys for the
+        next round — and bounded: only missing (key, peer) pairs move.
+        """
+        alive = self.alive_workers()
+        urls = {h.worker_id: h.base_url for h in alive}
+        holders = self._fetch_holders(alive)
+        with self._lock:
+            want_map = self.ring.replica_map(holders, self.replication)
+        pushes: dict[str, list[dict[str, Any]]] = {}
+        planned = 0
+        for key, have in holders.items():
+            want = want_map[key]
+            missing = [wid for wid in want if wid not in have and wid in urls]
+            if not missing:
+                continue
+            source = next((wid for wid in want if wid in have), None)
+            if source is None:
+                source = next(iter(have))
+            pushes.setdefault(source, []).append(
+                {"key": key, "peers": [urls[wid] for wid in missing]}
+            )
+            planned += len(missing)
+        pushed = 0
+        for source, assignments in pushes.items():
+            try:
+                status, doc = wire.post_pickle(
+                    f"{urls[source]}/v1/fleet/repair",
+                    {"pushes": assignments},
+                    timeout=self.map_timeout, auth=self.auth,
+                )
+            except wire.WireError:
+                continue
+            if status == 200 and isinstance(doc, dict):
+                pushed += int(doc.get("pushed", 0))
+        with self._lock:
+            self.repairs += 1
+            self.re_replicated += pushed
+        report = self.replication_report()
+        report["planned"] = planned
+        report["pushed"] = pushed
+        self.last_replication = report
+        return report
+
     # -- status --------------------------------------------------------
 
     def stats(self) -> dict[str, Any]:
@@ -307,6 +571,14 @@ class FleetClient:
                 "vnodes": self.ring.vnodes,
                 "handoffs": self.handoffs,
                 "routed_points": self.routed_points,
+                "registrations": self.registrations,
+                "dead_interval": self.dead_interval,
+                "repairs": self.repairs,
+                "re_replicated": self.re_replicated,
+                "replication_status": (
+                    dict(self.last_replication) if self.last_replication else None
+                ),
+                "auth": self.auth.enabled,
                 "totals": dict(self.stats_totals),
             }
 
@@ -616,6 +888,7 @@ class CoordinatorApp:
         )
         self.started_at = time.time()
         self._closing = threading.Event()
+        self._drain_ends_at: float | None = None
         if heartbeat_interval:
             client.start_heartbeat(heartbeat_interval)
 
@@ -623,13 +896,21 @@ class CoordinatorApp:
     def closing(self) -> bool:
         return self._closing.is_set()
 
-    def begin_shutdown(self) -> None:
+    def begin_shutdown(
+        self, drain_deadline: float = DEFAULT_DRAIN_DEADLINE
+    ) -> None:
         """Flip to draining: new submissions get 503 from now on."""
+        if not self._closing.is_set():
+            self._drain_ends_at = time.monotonic() + max(0.0, drain_deadline)
         self._closing.set()
+
+    def drain_retry_after(self) -> int:
+        """Seconds a 503'd client should wait before resubmitting."""
+        return drain_retry_after(self._drain_ends_at)
 
     def close(self, *, drain_deadline: float = 30.0) -> int:
         """Stop admitting, drain accepted jobs, stop the heartbeat."""
-        self.begin_shutdown()
+        self.begin_shutdown(drain_deadline)
         stranded = self.scheduler.close(deadline=drain_deadline)
         self.client.close()
         return stranded
@@ -657,6 +938,8 @@ class CoordinatorApp:
             }
         if path == "/v1/fleet/workers":
             return 200, self.client.stats()
+        if path == "/v1/fleet/replication":
+            return 200, self.client.replication_report()
         if path == "/v1/experiments":
             return 200, describe_catalog()
         if path.startswith("/v1/jobs/"):
@@ -665,6 +948,33 @@ class CoordinatorApp:
                 return 404, {"error": "no such job"}
             return 200, job.describe()
         return 404, {"error": f"no such endpoint {path!r}"}
+
+    def handle_register(self, body: dict[str, Any]) -> tuple[int, dict[str, Any]]:
+        """Admit one ``POST /v1/fleet/register`` body; ``(status, doc)``.
+
+        The worker side of the multi-host join handshake.  Validation
+        errors are the caller's fault (400); a version mismatch is a
+        409 (re-registering won't help until one side redeploys).
+        """
+        worker_id = body.get("worker_id")
+        base_url = body.get("base_url")
+        if not isinstance(worker_id, str) or not worker_id:
+            return 400, {"error": "'worker_id' must be a non-empty string"}
+        if not isinstance(base_url, str) or not base_url.startswith(("http://", "https://")):
+            return 400, {"error": "'base_url' must be an http(s) URL"}
+        version = body.get("version") or {}
+        if not isinstance(version, dict):
+            return 400, {"error": "'version' must be an object"}
+        fingerprint = body.get("fingerprint", "")
+        if not isinstance(fingerprint, str):
+            return 400, {"error": "'fingerprint' must be a string"}
+        try:
+            doc = self.client.register_worker(
+                worker_id, base_url, version=version, fingerprint=fingerprint
+            )
+        except ServiceError as exc:
+            return exc.status, {"error": str(exc)}
+        return 200, doc
 
     def handle_submit(
         self, body: dict[str, Any]
@@ -676,7 +986,7 @@ class CoordinatorApp:
             return (
                 503,
                 {"error": "coordinator is draining; retry later"},
-                {"Retry-After": "5"},
+                {"Retry-After": str(self.drain_retry_after())},
             )
         tenant = body.get("tenant", DEFAULT_TENANT)
         if not isinstance(tenant, str) or not tenant:
@@ -698,3 +1008,57 @@ class CoordinatorApp:
                 return 202, job.describe(), {}
             return 200, job.describe(), {}
         return 202, job.describe(), {}
+
+
+def make_coordinator_server(
+    app: CoordinatorApp, host: str = "127.0.0.1", port: int = 0,
+    *, verbose: bool = False,
+):
+    """Bind a coordinator to a threading HTTP server (``port=0``: ephemeral).
+
+    Unlike the plain :func:`repro.service.app.make_server`, the handler
+    knows the fleet control plane: ``POST /v1/fleet/register`` (JSON)
+    admits standalone workers, and every ``/v1/fleet/*`` path — reads
+    included — rejects requests without a valid ``X-Fleet-Token``.
+    """
+    import json as _json
+
+    from repro.service.app import _Handler, _ServiceHTTPServer
+
+    class Handler(_Handler):
+        def _fleet_authorized(self) -> bool:
+            presented = self.headers.get(wire.FLEET_TOKEN_HEADER)
+            if self.app.client.auth.verify(presented):
+                return True
+            self._reply(401, {"error": "missing or invalid fleet token"})
+            return False
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            if self.path.startswith("/v1/fleet/") and not self._fleet_authorized():
+                return
+            super().do_GET()
+
+        def do_POST(self) -> None:  # noqa: N802 - http.server API
+            if self.path == "/v1/fleet/register":
+                if not self._fleet_authorized():
+                    return
+                try:
+                    length = int(self.headers.get("Content-Length", "0"))
+                    body = _json.loads(self.rfile.read(length) or b"null")
+                except (ValueError, _json.JSONDecodeError):
+                    self._reply(400, {"error": "request body must be valid JSON"})
+                    return
+                if not isinstance(body, dict):
+                    self._reply(400, {"error": "request body must be a JSON object"})
+                    return
+                status, doc = self.app.handle_register(body)
+                self._reply(status, doc)
+                return
+            if self.path.startswith("/v1/fleet/") and not self._fleet_authorized():
+                return
+            super().do_POST()
+
+    handler = type(
+        "KsrCoordinatorHandler", (Handler,), {"app": app, "verbose": verbose}
+    )
+    return _ServiceHTTPServer((host, port), handler)

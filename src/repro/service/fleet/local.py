@@ -17,9 +17,13 @@ from http.server import ThreadingHTTPServer
 from pathlib import Path
 from typing import Any
 
-from repro.service.app import make_server
-from repro.service.fleet.coordinator import CoordinatorApp, FleetClient
+from repro.service.fleet.coordinator import (
+    CoordinatorApp,
+    FleetClient,
+    make_coordinator_server,
+)
 from repro.service.fleet.quotas import TenantPolicy
+from repro.service.fleet.wire import FleetAuth
 from repro.service.fleet.worker import FleetWorkerApp, make_worker_server
 
 __all__ = ["LocalFleet"]
@@ -72,10 +76,16 @@ class LocalFleet:
         default_policy: TenantPolicy | None = None,
         heartbeat_interval: float | None = 1.0,
         host: str = "127.0.0.1",
+        dead_interval: float = 10.0,
+        auth: FleetAuth | None = None,
     ):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         cache_root = Path(cache_root)
+        # Even the loopback harness runs with a real shared secret:
+        # the auth path is then exercised by every fleet test for free.
+        self.auth = auth or FleetAuth.generate()
+        self.host = host
         self.workers: dict[str, _Member] = {}
         for i in range(n_workers):
             worker_id = f"worker-{i}"
@@ -87,11 +97,14 @@ class LocalFleet:
                 queue_cap=queue_cap,
                 max_points=max_points,
                 max_batch=max_batch,
+                auth=self.auth,
             )
             self.workers[worker_id] = _Member(app, make_worker_server(app, host, 0))
         self.client = FleetClient(
             {wid: member.base_url for wid, member in self.workers.items()},
             replication=replication,
+            dead_interval=dead_interval,
+            auth=self.auth,
         )
         self.coordinator = CoordinatorApp(
             self.client,
@@ -102,7 +115,9 @@ class LocalFleet:
             default_policy=default_policy,
             heartbeat_interval=heartbeat_interval,
         )
-        self._coord = _Member(self.coordinator, make_server(self.coordinator, host, 0))
+        self._coord = _Member(
+            self.coordinator, make_coordinator_server(self.coordinator, host, 0)
+        )
 
     @property
     def base_url(self) -> str:
@@ -120,6 +135,22 @@ class LocalFleet:
     def kill_worker(self, worker_id: str) -> None:
         """Simulate a worker crash (socket closed, nothing drained)."""
         self.workers[worker_id].kill()
+
+    def restart_worker(self, worker_id: str) -> None:
+        """Re-bind a killed worker's app on its old port (a 'reboot').
+
+        The shard directory (and thus every entry written before the
+        crash) survives; the next heartbeat or registration re-admits
+        the worker, which triggers the coordinator's rejoin
+        re-replication.
+        """
+        member = self.workers[worker_id]
+        if member.thread.is_alive():
+            raise RuntimeError(f"{worker_id} is still serving; kill it first")
+        port = member.server.server_address[1]
+        self.workers[worker_id] = _Member(
+            member.app, make_worker_server(member.app, self.host, port)
+        )
 
     def close(self, *, drain_deadline: float = 30.0) -> None:
         """Graceful teardown: coordinator first (stops routing), then workers."""

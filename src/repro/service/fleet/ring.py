@@ -111,8 +111,9 @@ class HashRing:
         """Owner plus the next distinct workers clockwise, ``count`` total.
 
         The replica set is capped at the membership size; the owner is
-        always first.  This is both the read-through probe order and
-        the replication fan-out for a fresh result.
+        always first.  This is the per-key clockwise walk; the *data
+        plane* replicates along the owner's per-worker successor chain
+        instead (see :meth:`replica_map`).
         """
         if not self._owners:
             raise LookupError("hash ring is empty: no workers")
@@ -125,6 +126,33 @@ class HashRing:
                 out.append(node)
                 if len(out) == count:
                     break
+        return out
+
+    def replica_map(self, keys: Iterable[str], count: int) -> dict[str, list[str]]:
+        """Desired replica set for every key in one pass.
+
+        The re-replication planner's view of the ring: after a
+        membership change this says where each known key *should*
+        live, which the coordinator diffs against where copies
+        actually are to compute the bounded set of pushes that
+        restores the replication factor.
+
+        The desired set is ``owner + successors(owner)`` — the same
+        per-worker chain the data plane pushes fresh results along —
+        *not* the per-key :meth:`replicas` walk.  With virtual nodes
+        the two differ (a key's next-clockwise worker varies per key,
+        a worker's successor chain does not); judging the census
+        against a placement nothing writes to would report permanent
+        under-replication that no repair round could drain.
+        """
+        chains: dict[str, list[str]] = {}
+        out: dict[str, list[str]] = {}
+        for key in keys:
+            owner = self.owner(key)
+            chain = chains.get(owner)
+            if chain is None:
+                chain = chains[owner] = [owner] + self.successors(owner, count - 1)
+            out[key] = chain
         return out
 
     def successors(self, node: str, count: int) -> list[str]:

@@ -17,35 +17,94 @@ Functions are never pickled: a map request names its point function as
 point_key` hashes, so routing and caching agree on what a function
 *is*.
 
-Trust model: a fleet is a closed system on a trusted network segment
-(default bind: loopback).  The pickle endpoints are for fleet peers,
-not untrusted clients — the same stance the process-pool backend
-already takes with its pickled IPC.
+Trust model: once the fleet leaves the trusted loopback segment every
+fleet control/data-plane call carries a shared-secret token
+(``X-Fleet-Token``, compared constant-time by :class:`FleetAuth`).
+The pickle endpoints are for authenticated fleet peers, not untrusted
+clients — the same stance the process-pool backend already takes with
+its pickled IPC — and the auth seam is pluggable so a TLS-terminating
+proxy can sit in front (hand it a :class:`FleetAuth` with no secret
+and let the proxy enforce identity instead).
 """
 
 from __future__ import annotations
 
+import hmac
 import importlib
 import io
 import json
 import pickle
+import secrets
 import urllib.error
 import urllib.request
 from typing import Any, Callable
 
 __all__ = [
     "WireError",
+    "FleetAuth",
+    "FLEET_TOKEN_HEADER",
+    "FLEET_TOKEN_ENV",
     "PICKLE_CONTENT_TYPE",
     "dump_payload",
     "load_payload",
     "get_json",
     "get_pickle",
+    "post_json",
     "post_pickle",
     "resolve_point_func",
 ]
 
 #: Content type marking a pickled fleet-internal payload.
 PICKLE_CONTENT_TYPE = "application/x-ksr-fleet-pickle"
+
+#: Header carrying the fleet shared secret on every fleet call.
+FLEET_TOKEN_HEADER = "X-Fleet-Token"
+
+#: Environment variable ``ksr-serve`` reads the secret from, so it
+#: never appears in ``ps`` output the way an argv flag would.
+FLEET_TOKEN_ENV = "KSR_FLEET_TOKEN"
+
+
+class FleetAuth:
+    """Shared-secret authentication for fleet control/data-plane calls.
+
+    One instance is shared by everything on one side of a connection:
+    clients attach :meth:`headers` to outgoing fleet requests, servers
+    :meth:`verify` the presented token with a constant-time compare
+    (``hmac.compare_digest`` — a timing oracle on the token would
+    defeat the point of having one).
+
+    ``secret=None`` disables enforcement — the seam for deployments
+    that terminate TLS (with client certs or a proxy-enforced identity)
+    in front of the fleet, and for the pre-multi-host loopback mode.
+    """
+
+    def __init__(self, secret: str | None = None):
+        self.secret = secret
+
+    @classmethod
+    def generate(cls) -> "FleetAuth":
+        """A fresh random token (one-process fleets mint their own)."""
+        return cls(secrets.token_hex(16))
+
+    @property
+    def enabled(self) -> bool:
+        return self.secret is not None
+
+    def headers(self) -> dict[str, str]:
+        """Headers a fleet client attaches to an outgoing call."""
+        if self.secret is None:
+            return {}
+        return {FLEET_TOKEN_HEADER: self.secret}
+
+    def verify(self, presented: str | None) -> bool:
+        """Constant-time check of one presented token value."""
+        if self.secret is None:
+            return True
+        if not presented:
+            return False
+        return hmac.compare_digest(self.secret.encode("utf-8"),
+                                   presented.encode("utf-8"))
 
 #: Only functions inside the installed package may be named in a map
 #: request; anything else is refused before import.
@@ -92,9 +151,16 @@ def _request(url: str, *, data: bytes | None, headers: dict[str, str],
         raise WireError(f"{method} {url}: {exc}") from exc
 
 
-def get_json(url: str, *, timeout: float = 10.0) -> tuple[int, dict[str, Any]]:
+def _auth_headers(auth: "FleetAuth | None") -> dict[str, str]:
+    return auth.headers() if auth is not None else {}
+
+
+def get_json(
+    url: str, *, timeout: float = 10.0, auth: "FleetAuth | None" = None
+) -> tuple[int, dict[str, Any]]:
     """GET a JSON document; ``(status, doc)``.  Unreachable → WireError."""
-    status, body = _request(url, data=None, headers={}, method="GET", timeout=timeout)
+    status, body = _request(url, data=None, headers=_auth_headers(auth),
+                            method="GET", timeout=timeout)
     try:
         doc = json.loads(body) if body else {}
     except json.JSONDecodeError as exc:
@@ -104,7 +170,35 @@ def get_json(url: str, *, timeout: float = 10.0) -> tuple[int, dict[str, Any]]:
     return status, doc
 
 
-def post_pickle(url: str, obj: Any, *, timeout: float = 600.0) -> tuple[int, Any]:
+def post_json(
+    url: str, doc: dict[str, Any], *, timeout: float = 10.0,
+    auth: "FleetAuth | None" = None,
+) -> tuple[int, dict[str, Any]]:
+    """POST a JSON document, return ``(status, json_response)``.
+
+    The control-plane counterpart of :func:`post_pickle` — worker
+    registration goes over this channel so a human can drive it with
+    curl too.
+    """
+    payload = json.dumps(doc, sort_keys=True).encode("utf-8")
+    headers = {"Content-Type": "application/json",
+               "Content-Length": str(len(payload)),
+               **_auth_headers(auth)}
+    status, body = _request(url, data=payload, headers=headers,
+                            method="POST", timeout=timeout)
+    try:
+        out = json.loads(body) if body else {}
+    except json.JSONDecodeError as exc:
+        raise WireError(f"POST {url}: non-JSON response") from exc
+    if not isinstance(out, dict):
+        raise WireError(f"POST {url}: expected a JSON object")
+    return status, out
+
+
+def post_pickle(
+    url: str, obj: Any, *, timeout: float = 600.0,
+    auth: "FleetAuth | None" = None,
+) -> tuple[int, Any]:
     """POST a pickled payload, return ``(status, unpickled_response)``.
 
     A non-2xx status with a JSON body comes back as ``(status, doc)``;
@@ -115,7 +209,8 @@ def post_pickle(url: str, obj: Any, *, timeout: float = 600.0) -> tuple[int, Any
         url,
         data=payload,
         headers={"Content-Type": PICKLE_CONTENT_TYPE,
-                 "Content-Length": str(len(payload))},
+                 "Content-Length": str(len(payload)),
+                 **_auth_headers(auth)},
         method="POST",
         timeout=timeout,
     )
@@ -127,9 +222,12 @@ def post_pickle(url: str, obj: Any, *, timeout: float = 600.0) -> tuple[int, Any
     return status, load_payload(body)
 
 
-def get_pickle(url: str, *, timeout: float = 30.0) -> tuple[int, Any]:
+def get_pickle(
+    url: str, *, timeout: float = 30.0, auth: "FleetAuth | None" = None
+) -> tuple[int, Any]:
     """GET a pickled payload; 404 returns ``(404, None)`` (a clean miss)."""
-    status, body = _request(url, data=None, headers={}, method="GET", timeout=timeout)
+    status, body = _request(url, data=None, headers=_auth_headers(auth),
+                            method="GET", timeout=timeout)
     if status == 404:
         return status, None
     if status >= 400:

@@ -38,11 +38,11 @@ import threading
 from typing import Any
 
 from repro.experiments.sweep import point_key
-from repro.service.app import ServiceApp, _Handler
+from repro.service.app import ServiceApp, _Handler, version_info
 from repro.service.backends import BackendSweepRunner
 from repro.service.fleet import wire
 
-__all__ = ["FleetWorkerApp", "make_worker_server"]
+__all__ = ["FleetWorkerApp", "Registrar", "make_worker_server"]
 
 
 class FleetWorkerApp(ServiceApp):
@@ -60,6 +60,7 @@ class FleetWorkerApp(ServiceApp):
         max_points: int = 512,
         max_batch: int = 64,
         peer_timeout: float = 10.0,
+        auth: wire.FleetAuth | None = None,
     ):
         super().__init__(
             cache_dir,
@@ -72,6 +73,11 @@ class FleetWorkerApp(ServiceApp):
         )
         self.worker_id = worker_id
         self.peer_timeout = peer_timeout
+        #: Shared-secret gate on every ``/v1/fleet/*`` endpoint, and the
+        #: credential attached to outgoing peer calls (read-through,
+        #: replication, repair pushes all cross worker boundaries).
+        self.auth = auth or wire.FleetAuth(None)
+        self.repairs_served = 0
         #: Replica peer base URLs, refreshed by every map request (the
         #: coordinator owns ring membership; workers just follow).
         self.peers: list[str] = []
@@ -91,7 +97,8 @@ class FleetWorkerApp(ServiceApp):
         for peer in peers:
             try:
                 status, entry = wire.get_pickle(
-                    f"{peer}/v1/fleet/entry/{key}", timeout=self.peer_timeout
+                    f"{peer}/v1/fleet/entry/{key}",
+                    timeout=self.peer_timeout, auth=self.auth,
                 )
             except wire.WireError:
                 continue  # dead peer: the next replica may still answer
@@ -110,7 +117,8 @@ class FleetWorkerApp(ServiceApp):
             for peer in peers:
                 try:
                     status, _ = wire.post_pickle(
-                        f"{peer}/v1/fleet/entry", body, timeout=self.peer_timeout
+                        f"{peer}/v1/fleet/entry", body,
+                        timeout=self.peer_timeout, auth=self.auth,
                     )
                 except wire.WireError:
                     continue  # availability optimisation only
@@ -199,6 +207,52 @@ class FleetWorkerApp(ServiceApp):
             self.replicated_in += 1
         return {"ok": True, "worker_id": self.worker_id}
 
+    def handle_fleet_keys(self) -> dict[str, Any]:
+        """This shard's resident key list (the repair planner's census)."""
+        keys = self.cache.keys()
+        return {
+            "worker_id": self.worker_id,
+            "keys": keys,
+            "count": len(keys),
+            "fingerprint": self.cache.fingerprint(),
+        }
+
+    def handle_fleet_repair(self, body: dict[str, Any]) -> dict[str, Any]:
+        """Push requested entries to peers (coordinator-driven repair).
+
+        ``{"pushes": [{"key": ..., "peers": [url, ...]}, ...]}`` — the
+        coordinator names exactly which of this shard's entries are
+        missing where; the push is synchronous (the coordinator's
+        repair round wants to know the factor *is* restored, not that
+        a thread was spawned) and idempotent at the receiver.
+        """
+        pushed = missing = 0
+        for item in body.get("pushes", ()):
+            key, peers = item["key"], list(item["peers"])
+            hit, value, meta = self.cache.peek(key)
+            if not hit:
+                missing += 1  # evicted since the census; next round re-plans
+                continue
+            entry = {"key": key, "value": value, "meta": meta}
+            for peer in peers:
+                try:
+                    status, _ = wire.post_pickle(
+                        f"{peer}/v1/fleet/entry", entry,
+                        timeout=self.peer_timeout, auth=self.auth,
+                    )
+                except wire.WireError:
+                    continue
+                if status == 200:
+                    pushed += 1
+                    self.replicated_out += 1
+        self.repairs_served += 1
+        return {
+            "ok": True,
+            "worker_id": self.worker_id,
+            "pushed": pushed,
+            "missing": missing,
+        }
+
     # -- status surfaces ----------------------------------------------
 
     def fleet_stats(self) -> dict[str, Any]:
@@ -208,7 +262,9 @@ class FleetWorkerApp(ServiceApp):
             "maps_served": self.maps_served,
             "replicated_out": self.replicated_out,
             "replicated_in": self.replicated_in,
+            "repairs_served": self.repairs_served,
             "peers": list(self.peers),
+            "auth": self.auth.enabled,
         }
 
     def handle_get(self, path: str) -> tuple[int, dict[str, Any]]:
@@ -241,30 +297,53 @@ class _WorkerHandler(_Handler):
         length = int(self.headers.get("Content-Length", "0"))
         return wire.load_payload(self.rfile.read(length))
 
+    def _fleet_authorized(self) -> bool:
+        presented = self.headers.get(wire.FLEET_TOKEN_HEADER)
+        if self.app.auth.verify(presented):
+            return True
+        self._reply(401, {"error": "missing or invalid fleet token"})
+        return False
+
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        if self.path.startswith("/v1/fleet/entry/"):
-            key = self.path.removeprefix("/v1/fleet/entry/")
-            status, entry = self.app.handle_fleet_entry_get(key)
-            if entry is None:
-                self._reply(status, {"error": "no such entry"})
-            else:
-                self._reply_pickle(status, entry)
+        if self.path.startswith("/v1/fleet/"):
+            if not self._fleet_authorized():
+                return
+            if self.path.startswith("/v1/fleet/entry/"):
+                key = self.path.removeprefix("/v1/fleet/entry/")
+                status, entry = self.app.handle_fleet_entry_get(key)
+                if entry is None:
+                    self._reply(status, {"error": "no such entry"})
+                else:
+                    self._reply_pickle(status, entry)
+                return
+            if self.path == "/v1/fleet/keys":
+                self._reply(200, self.app.handle_fleet_keys())
+                return
+            self._reply(404, {"error": f"no such endpoint {self.path!r}"})
             return
         super().do_GET()
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        if self.path in ("/v1/fleet/map", "/v1/fleet/entry"):
+        if self.path in ("/v1/fleet/map", "/v1/fleet/entry", "/v1/fleet/repair"):
+            if not self._fleet_authorized():
+                return
             try:
                 body = self._read_pickle_body()
             except (wire.WireError, ValueError):
                 self._reply(400, {"error": "malformed fleet payload"})
                 return
             if self.app.closing and self.path == "/v1/fleet/map":
-                self._reply(503, {"error": "worker is draining"})
+                self._reply(
+                    503,
+                    {"error": "worker is draining"},
+                    {"Retry-After": str(self.app.drain_retry_after())},
+                )
                 return
             try:
                 if self.path == "/v1/fleet/map":
                     doc = self.app.handle_fleet_map(body)
+                elif self.path == "/v1/fleet/repair":
+                    doc = self.app.handle_fleet_repair(body)
                 else:
                     doc = self.app.handle_fleet_entry_put(body)
             except wire.WireError as exc:
@@ -276,6 +355,85 @@ class _WorkerHandler(_Handler):
             self._reply_pickle(200, doc)
             return
         super().do_POST()
+
+
+class Registrar:
+    """Keeps a standalone worker registered with its coordinator.
+
+    The worker side of ``ksr-serve --worker --join URL``: registers on
+    start and re-registers every ``interval`` seconds on a daemon
+    thread.  Registration is idempotent at the coordinator, so the
+    loop doubles as a worker-side heartbeat — it survives coordinator
+    restarts (the fresh coordinator relearns the fleet from the
+    re-registrations) and re-admits this worker after a partition
+    heals, riding the coordinator's rejoin re-replication path.
+    """
+
+    def __init__(
+        self,
+        app: FleetWorkerApp,
+        join_url: str,
+        advertised_url: str,
+        *,
+        interval: float = 5.0,
+        timeout: float = 10.0,
+    ):
+        self.app = app
+        self.join_url = join_url.rstrip("/")
+        self.advertised_url = advertised_url.rstrip("/")
+        self.interval = interval
+        self.timeout = timeout
+        self.registered = threading.Event()
+        self.attempts = 0
+        self.last_error = ""
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def register_once(self) -> bool:
+        """One registration attempt; returns success."""
+        self.attempts += 1
+        body = {
+            "worker_id": self.app.worker_id,
+            "base_url": self.advertised_url,
+            "version": version_info(),
+            "fingerprint": self.app.cache.fingerprint(),
+        }
+        try:
+            status, doc = wire.post_json(
+                f"{self.join_url}/v1/fleet/register", body,
+                timeout=self.timeout, auth=self.app.auth,
+            )
+        except wire.WireError as exc:
+            self.last_error = str(exc)
+            return False
+        if status != 200:
+            self.last_error = f"HTTP {status}: {doc.get('error', '')}"
+            return False
+        self.last_error = ""
+        self.registered.set()
+        return True
+
+    def start(self) -> None:
+        """Register now (best effort) and keep re-registering."""
+        if self._thread is not None:
+            return
+
+        def loop() -> None:
+            self.register_once()
+            while not self._stop.wait(self.interval):
+                self.register_once()
+
+        self._thread = threading.Thread(
+            target=loop, name=f"{self.app.worker_id}-registrar", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the re-registration loop and join its thread."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self.timeout + 1)
+            self._thread = None
 
 
 def make_worker_server(app: FleetWorkerApp, host: str = "127.0.0.1", port: int = 0,

@@ -121,6 +121,33 @@ class TestGracefulShutdown:
         assert "draining" in doc["error"]
         assert headers.get("Retry-After")
 
+    def test_drain_retry_after_tracks_deadline(self, served):
+        """Regression: the 503 Retry-After was a hardcoded 5 seconds.
+
+        It must reflect the drain deadline actually remaining — a
+        client told to come back in 5s against a 120s drain would just
+        burn 24 rejected round-trips.
+        """
+        base, app = served
+        app.begin_shutdown(drain_deadline=120)
+        status, doc, headers = post(base, {"kind": "point", "params": {"ops": 3}})
+        assert status == 503
+        retry = int(headers["Retry-After"])
+        assert 100 < retry <= 120, "must be derived from the real deadline"
+        # begin_shutdown is latched: a later call cannot push it out
+        app.begin_shutdown(drain_deadline=500)
+        assert app.drain_retry_after() <= 120
+
+    def test_drain_retry_after_floor_and_expiry(self):
+        import time
+
+        from repro.service.app import drain_retry_after
+
+        assert drain_retry_after(None) == 1
+        assert drain_retry_after(time.monotonic() - 10) == 1, "past deadline"
+        assert drain_retry_after(time.monotonic() + 0.2) == 1, "floor is 1s"
+        assert drain_retry_after(time.monotonic() + 4.2) in (4, 5)
+
     def test_close_drains_and_compacts(self, tmp_path):
         app = ServiceApp(str(tmp_path / "cache"), backend="inline", workers=2)
         from repro.service.jobs import JobSpec

@@ -152,6 +152,109 @@ class TestEviction:
         assert cache.evictions == 0
 
 
+class TestPeek:
+    def test_peek_returns_value_and_meta_without_counters(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "c")
+        key = make_key(20)
+        cache.store(key, "v", meta={"func": "tests.square"})
+        hit, value, meta = cache.peek(key)
+        assert hit and value == "v" and meta["func"] == "tests.square"
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_peek_miss_is_silent(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "c")
+        assert cache.peek(make_key(21)) == (False, None, {})
+        assert cache.misses == 0
+
+    def test_peek_unlinks_corrupt_entry(self, tmp_path):
+        """A poisoned file must not keep shadowing the key: peek drops
+        it so the next store (or replica push) is visible again."""
+        cache = ShardedResultCache(tmp_path / "c")
+        key = make_key(22)
+        cache.store(key, "good")
+        path = cache._path(key)
+        path.write_bytes(b"garbage")
+        assert cache.peek(key) == (False, None, {})
+        assert not path.exists()
+        cache.store(key, "fresh")
+        assert cache.peek(key)[1] == "fresh"
+
+    def test_peek_never_consults_remote(self, tmp_path):
+        """Peers answer peeks; a remote-consulting peek could ping-pong
+        between two workers missing the same key forever."""
+        cache = ShardedResultCache(tmp_path / "c")
+        calls = []
+        cache.remote_fetch = lambda key: calls.append(key) or (True, "remote")
+        assert cache.peek(make_key(23))[0] is False
+        assert calls == []
+
+
+class TestReadThrough:
+    """Counter invariants of the fleet read-through seam."""
+
+    def test_remote_hit_counts_hit_and_adopts(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "c")
+        key = make_key(30)
+        cache.remote_fetch = lambda k: (True, "remote-value")
+        hit, value = cache.load(key)
+        assert hit and value == "remote-value"
+        assert (cache.hits, cache.remote_hits, cache.misses) == (1, 1, 0)
+        # adopted locally: the next load is a plain local hit
+        cache.remote_fetch = None
+        assert cache.load(key) == (True, "remote-value")
+        assert (cache.hits, cache.remote_hits, cache.misses) == (2, 1, 0)
+
+    def test_remote_miss_counts_plain_miss(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "c")
+        cache.remote_fetch = lambda k: (False, None)
+        assert cache.load(make_key(31)) == (False, None)
+        assert (cache.hits, cache.remote_hits, cache.misses) == (0, 0, 1)
+
+    def test_corrupt_then_remote_hit_counts_both(self, tmp_path):
+        """A corrupt local entry resolved remotely is a miss (the local
+        copy was lost) AND a hit (the point was still cache-served)."""
+        cache = ShardedResultCache(tmp_path / "c")
+        key = make_key(32)
+        cache.store(key, "good")
+        cache._path(key).write_bytes(b"garbage")
+        cache.remote_fetch = lambda k: (True, "replica-copy")
+        hit, value = cache.load(key)
+        assert hit and value == "replica-copy"
+        assert cache.corrupt == 1
+        assert (cache.hits, cache.remote_hits, cache.misses) == (1, 1, 1)
+
+    def test_raising_remote_degrades_to_miss(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "c")
+
+        def sick_peer(key):
+            raise OSError("connection refused")
+
+        cache.remote_fetch = sick_peer
+        assert cache.load(make_key(33)) == (False, None)
+        assert (cache.hits, cache.remote_hits, cache.misses) == (0, 0, 1)
+
+
+class TestKeysAndFingerprint:
+    def test_keys_lists_resident_sorted(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "c")
+        stored = {make_key(i) for i in range(40, 45)}
+        for key in stored:
+            cache.store(key, key)
+        assert cache.keys() == sorted(stored)
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_fingerprint_is_content_only(self, tmp_path):
+        a = ShardedResultCache(tmp_path / "a")
+        b = ShardedResultCache(tmp_path / "b")
+        assert a.fingerprint() == b.fingerprint(), "empty shards match"
+        for i in range(50, 53):
+            a.store(make_key(i), i)
+            b.store(make_key(i), i)
+        assert a.fingerprint() == b.fingerprint(), "same keys, same print"
+        a.store(make_key(99), "extra")
+        assert a.fingerprint() != b.fingerprint()
+
+
 class TestManifest:
     def test_manifest_tracks_stores(self, tmp_path):
         cache = ShardedResultCache(tmp_path / "c")

@@ -17,9 +17,11 @@ import pytest
 from repro.service.fleet import LocalFleet, TenantPolicy
 
 
-def get(base: str, path: str) -> tuple[int, dict]:
+def get(base: str, path: str, token: str | None = None) -> tuple[int, dict]:
+    headers = {"X-Fleet-Token": token} if token else {}
+    request = urllib.request.Request(base + path, headers=headers)
     try:
-        with urllib.request.urlopen(base + path, timeout=30) as response:
+        with urllib.request.urlopen(request, timeout=30) as response:
             return response.status, json.loads(response.read())
     except urllib.error.HTTPError as err:
         return err.code, json.loads(err.read())
@@ -68,7 +70,8 @@ class TestEndpoints:
         assert status == 200
         assert doc["scheduler"]["backend"] == "fleet"
         assert doc["fleet"]["replication"] == 2
-        status, doc = get(fleet.base_url, "/v1/fleet/workers")
+        status, doc = get(fleet.base_url, "/v1/fleet/workers",
+                          token=fleet.auth.secret)
         assert status == 200
         assert set(doc["workers"]) == {"worker-0", "worker-1", "worker-2"}
 
@@ -141,7 +144,8 @@ class TestAcceptance:
                 reference["result"], sort_keys=True
             )
             assert lf.client.handoffs >= 1
-            status, workers = get(lf.base_url, "/v1/fleet/workers")
+            status, workers = get(lf.base_url, "/v1/fleet/workers",
+                                  token=lf.auth.secret)
             assert victim not in workers["alive"]
 
     def test_replication_then_owner_death_still_serves_from_cache(self, fleet):

@@ -1,0 +1,53 @@
+"""Unit tests for the load generator's report math.
+
+The integration path (a real burst against a live fleet) lives in
+``test_fleet.py``; these pin the pure functions the report is built
+from, in particular :func:`percentile`'s nearest-rank edges — the
+values ``BENCH_fleet.json`` and the multi-host smoke artifact carry.
+"""
+
+from __future__ import annotations
+
+from repro.service.fleet.loadgen import jain_index, percentile
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.0) == 0.0
+        assert percentile([], 0.5) == 0.0
+        assert percentile([], 1.0) == 0.0
+
+    def test_single_sample_answers_every_quantile(self):
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert percentile([7.5], q) == 7.5
+
+    def test_q_zero_is_first_element(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.0) == 1.0
+
+    def test_q_one_clamps_to_last_element(self):
+        # rank int(1.0 * n) == n would be out of range; must clamp.
+        assert percentile([1.0, 2.0, 3.0, 4.0], 1.0) == 4.0
+
+    def test_two_samples_p50_is_upper(self):
+        # nearest-rank: int(0.5 * 2) == 1, the second sample — this is
+        # rank selection, not interpolation.
+        assert percentile([10.0, 20.0], 0.5) == 20.0
+
+    def test_monotone_in_q(self):
+        values = [float(i) for i in range(17)]
+        quantiles = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+        picks = [percentile(values, q) for q in quantiles]
+        assert picks == sorted(picks)
+        assert all(p in values for p in picks)
+
+
+class TestJainIndex:
+    def test_perfectly_fair(self):
+        assert jain_index([5.0, 5.0, 5.0]) == 1.0
+
+    def test_one_hog_is_one_over_n(self):
+        assert jain_index([9.0, 0.0, 0.0]) == 1.0 / 3.0
+
+    def test_degenerate_inputs(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0.0, 0.0]) == 1.0
